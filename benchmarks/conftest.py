@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one benchmark that regenerates it on the
+small preset and prints the resulting rows, so ``pytest benchmarks/
+--benchmark-only`` doubles as a quick reproduction run. Ablation benches
+cover the design choices DESIGN.md calls out (placement window, counter
+vs bit-vector history, stream lookahead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    cfg = ExperimentConfig.small()
+    cfg.workloads = ["apache", "db2", "qry2", "em3d"]
+    # em3d needs two full iterations (~88k accesses) to train temporally
+    cfg.trace_length = 100_000
+    return cfg
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    cfg = ExperimentConfig.small()
+    cfg.workloads = ["db2", "qry2"]
+    return cfg

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 10 — speedup over the stride baseline."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, config):
+    results = benchmark.pedantic(fig10.run, args=(config,), rounds=1, iterations=1)
+    print()
+    print(fig10.format_table(results))
+    for rows in results.values():
+        for row in rows:
+            assert row.speedup > 0

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 7 — Sequitur repetition of misses vs triggers."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, config):
+    results = benchmark.pedantic(fig7.run, args=(config,), rounds=1, iterations=1)
+    print()
+    print(fig7.format_table(results))
+    for all_misses, triggers in results.values():
+        assert all_misses.total > 0
+        assert triggers.total > 0

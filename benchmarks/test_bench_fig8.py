@@ -1,0 +1,11 @@
+"""Benchmark: Figure 8 — correlation distance within generations."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, config):
+    results = benchmark.pedantic(fig8.run, args=(config,), rounds=1, iterations=1)
+    print()
+    print(fig8.format_table(results))
+    for result in results.values():
+        assert result.total_pairs > 0

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 9 — coverage/overprediction comparison."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, config):
+    results = benchmark.pedantic(fig9.run, args=(config,), rounds=1, iterations=1)
+    print()
+    print(fig9.format_table(results))
+    for rows in results.values():
+        assert {r.predictor for r in rows} == {"tms", "sms", "stems"}

@@ -1,0 +1,11 @@
+"""Benchmark: §5.5 — naive TMS||SMS hybrid vs STeMS overpredictions."""
+
+from repro.experiments import hybrid
+
+
+def test_hybrid(benchmark, quick_config):
+    rows = benchmark.pedantic(hybrid.run, args=(quick_config,),
+                              rounds=1, iterations=1)
+    print()
+    print(hybrid.format_table(rows))
+    assert rows

@@ -1,0 +1,10 @@
+"""Benchmark: Table 1 rendering (configuration + workload construction)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, config):
+    lines = benchmark(table1.run, config)
+    print()
+    print(table1.format_table(lines))
+    assert any("L1d" in line for line in lines)

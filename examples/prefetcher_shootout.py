@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compare all predictors (stride, TMS, SMS, naive hybrid, STeMS) on any
+workload of the suite: coverage, overpredictions, accuracy and speedup.
+
+Usage::
+
+    python examples/prefetcher_shootout.py [workload] [trace_length]
+    python examples/prefetcher_shootout.py em3d 150000
+"""
+
+import sys
+
+from repro import (
+    NaiveHybridPrefetcher,
+    SMSPrefetcher,
+    STeMSPrefetcher,
+    SimulationDriver,
+    StridePrefetcher,
+    SystemConfig,
+    TMSPrefetcher,
+    WORKLOAD_NAMES,
+    make_workload,
+    simulate_timing,
+)
+from repro.prefetch.composite import CompositePrefetcher
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "apache"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
+    if workload not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {workload!r}; "
+                         f"choose from {WORKLOAD_NAMES}")
+
+    system = SystemConfig.scaled()
+    trace = make_workload(workload).generate(length, seed=42)
+    warm = int(length * 0.4)
+
+    baseline = SimulationDriver(system, None).run(trace)
+    base_misses = max(1, baseline.uncovered)
+    stride_run = SimulationDriver(
+        system, StridePrefetcher(), record_service=True
+    ).run(trace)
+    stride_timing = simulate_timing(
+        trace, stride_run.service, system.timing, measure_from=warm
+    )
+
+    print(f"workload {workload}: {base_misses} baseline off-chip read misses")
+    print(f"{'predictor':<8} {'coverage':>9} {'overpred':>9} "
+          f"{'accuracy':>9} {'speedup':>9}")
+    print(f"{'stride':<8} {stride_run.covered / base_misses:>9.1%} "
+          f"{stride_run.overpredictions / base_misses:>9.1%} "
+          f"{stride_run.accuracy:>9.1%} {'+0.0%':>9}")
+
+    factories = {
+        "tms": TMSPrefetcher,
+        "sms": SMSPrefetcher,
+        "hybrid": NaiveHybridPrefetcher,
+        "stems": STeMSPrefetcher,
+    }
+    for name, factory in factories.items():
+        coverage_run = SimulationDriver(system, factory()).run(trace)
+        timing_run = SimulationDriver(
+            system, CompositePrefetcher(factory()), record_service=True
+        ).run(trace)
+        timing = simulate_timing(
+            trace, timing_run.service, system.timing, measure_from=warm
+        )
+        print(f"{name:<8} {coverage_run.covered / base_misses:>9.1%} "
+              f"{coverage_run.overpredictions / base_misses:>9.1%} "
+              f"{coverage_run.accuracy:>9.1%} "
+              f"{timing.speedup_over(stride_timing) - 1:>+9.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: run STeMS on a synthetic OLTP workload.
+
+Generates a TPC-C-like trace, simulates the scaled memory hierarchy with
+the STeMS prefetcher attached, and reports coverage, overpredictions and
+the estimated speedup over a stride-prefetched baseline.
+
+Usage::
+
+    python examples/quickstart.py [trace_length]
+"""
+
+import sys
+
+from repro import (
+    STeMSPrefetcher,
+    SimulationDriver,
+    StridePrefetcher,
+    SystemConfig,
+    make_workload,
+    simulate_timing,
+)
+from repro.prefetch.composite import CompositePrefetcher
+from repro.trace import summarize_trace
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    system = SystemConfig.scaled()
+
+    print(f"generating db2 (TPC-C) trace, {length} accesses ...")
+    trace = make_workload("db2").generate(length, seed=42)
+    print(summarize_trace(trace).format())
+    print()
+
+    # coverage: STeMS standalone vs the no-prefetch baseline
+    baseline = SimulationDriver(system, None).run(trace)
+    stems_run = SimulationDriver(system, STeMSPrefetcher()).run(trace)
+    base_misses = max(1, baseline.uncovered)
+    print(f"off-chip read misses (baseline): {base_misses}")
+    print(f"STeMS coverage:                  {stems_run.covered / base_misses:.1%}")
+    print(f"STeMS overpredictions:           "
+          f"{stems_run.overpredictions / base_misses:.1%}")
+
+    # performance: stride baseline vs stride+STeMS (Fig. 10 methodology)
+    warm = int(length * 0.4)
+    stride_run = SimulationDriver(
+        system, StridePrefetcher(), record_service=True
+    ).run(trace)
+    stride_t = simulate_timing(trace, stride_run.service, system.timing,
+                               measure_from=warm)
+    full_run = SimulationDriver(
+        system, CompositePrefetcher(STeMSPrefetcher()), record_service=True
+    ).run(trace)
+    full_t = simulate_timing(trace, full_run.service, system.timing,
+                             measure_from=warm)
+    print(f"speedup over stride baseline:    "
+          f"{full_t.speedup_over(stride_t) - 1:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

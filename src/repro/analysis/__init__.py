@@ -1,0 +1,24 @@
+"""Trace analyses backing Figures 6-8: joint predictability classification,
+Sequitur-based temporal repetition, and intra-generation correlation
+distance."""
+
+from repro.analysis.sequitur import Sequitur, SequiturGrammar
+from repro.analysis.repetition import (
+    RepetitionBreakdown,
+    classify_repetition,
+    repetition_analysis,
+)
+from repro.analysis.correlation import correlation_distance_analysis
+from repro.analysis.joint import joint_coverage_analysis
+from repro.analysis.streams import stream_length_analysis
+
+__all__ = [
+    "Sequitur",
+    "SequiturGrammar",
+    "RepetitionBreakdown",
+    "classify_repetition",
+    "repetition_analysis",
+    "correlation_distance_analysis",
+    "joint_coverage_analysis",
+    "stream_length_analysis",
+]

@@ -1,0 +1,161 @@
+"""Joint TMS/SMS predictability classification (Fig. 6, §5.2).
+
+Every off-chip read miss is classified as predictable by *idealized*
+temporal correlation, idealized spatial correlation, both, or neither:
+
+* **temporally predictable** — one of the last ``WINDOW`` misses recurred
+  earlier in the global sequence with this address within ``WINDOW``
+  positions after it: a temporal predictor that located that miss and
+  streamed with that lookahead would fetch this address (an exact-digram
+  test would be too strict — streaming tolerates small insertions and
+  deletions, §2.2);
+* **spatially predictable** — the miss is not a trigger, and its offset
+  is in the pattern most recently recorded for the same (PC, offset)
+  index — the bit-vector SMS semantics: an all-time union would wrongly
+  credit aliased indexes whose patterns conflict.
+
+These limit-study definitions deliberately ignore finite tables, stream
+queues and SVB capacity — Fig. 6 measures *opportunity*, and Fig. 9 then
+shows how much of it the real mechanisms capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.common.config import SystemConfig
+from repro.memsys.hierarchy import Hierarchy, ServiceLevel
+from repro.prefetch.sms.generations import ActiveGenerationTable, SpatialIndex
+from repro.trace.container import Trace
+
+
+@dataclass(frozen=True)
+class JointCoverageResult:
+    """Fractions of off-chip read misses per Fig. 6 category."""
+
+    workload: str
+    misses: int
+    both: float
+    tms_only: float
+    sms_only: float
+    neither: float
+
+    @property
+    def temporal(self) -> float:
+        """Total temporally predictable fraction."""
+        return self.both + self.tms_only
+
+    @property
+    def spatial(self) -> float:
+        """Total spatially predictable fraction."""
+        return self.both + self.sms_only
+
+    @property
+    def joint(self) -> float:
+        """Fraction predictable by at least one technique."""
+        return self.both + self.tms_only + self.sms_only
+
+    def format(self) -> str:
+        return (
+            f"{self.workload:<8} both={self.both:6.1%} "
+            f"tms-only={self.tms_only:6.1%} sms-only={self.sms_only:6.1%} "
+            f"neither={self.neither:6.1%} (n={self.misses})"
+        )
+
+
+#: streaming tolerance of the idealized temporal classifier (the paper's
+#: mechanisms use a lookahead of 8, §4.3)
+TEMPORAL_WINDOW = 8
+
+
+def joint_coverage_analysis(
+    trace: Trace, system: SystemConfig, skip_fraction: float = 0.0
+) -> JointCoverageResult:
+    """Classify each off-chip read miss of ``trace`` (Fig. 6).
+
+    ``skip_fraction`` excludes the leading portion of the trace from the
+    reported counts (training still sees it) — the paper classifies
+    traces collected after extensive warming (§5.1), so cold-start
+    compulsory misses would otherwise be over-represented.
+    """
+    if not 0.0 <= skip_fraction < 1.0:
+        raise ValueError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+    measure_from = int(len(trace) * skip_fraction)
+    amap = system.address_map
+    hierarchy = Hierarchy(system)
+    #: full miss sequence and last-occurrence index, for the windowed
+    #: temporal-predictability test
+    miss_sequence: List[int] = []
+    last_occurrence: Dict[int, int] = {}
+    #: per miss position: the previous occurrence of that address, if any
+    previous_occurrence: List[Optional[int]] = []
+    #: per spatial index: offsets ever touched in a completed generation
+    spatial_history: Dict[SpatialIndex, Set[int]] = {}
+
+    def on_end(record) -> None:
+        spatial_history[record.index] = {e.offset for e in record.elements}
+
+    agt = ActiveGenerationTable(64, amap, on_generation_end=on_end)
+
+    counts = {"both": 0, "tms": 0, "sms": 0, "neither": 0}
+    misses = 0
+    for access in trace:
+        block = amap.block_of(access.address)
+        outcome = hierarchy.access(block)
+        offchip = outcome.level is ServiceLevel.MEMORY
+        result = agt.observe(access.pc, block, offchip=offchip)
+        for evicted in outcome.l1_evictions:
+            agt.on_l1_eviction(evicted)
+        if not offchip or access.is_write:
+            continue
+        measured = access.index >= measure_from
+        if measured:
+            misses += 1
+
+        # temporal: did a recent miss occur earlier in the sequence with
+        # this block among the addresses that followed it within the
+        # streaming window?
+        temporal = False
+        window = TEMPORAL_WINDOW
+        position = len(miss_sequence)
+        for recent_pos in range(max(0, position - window), position):
+            earlier = previous_occurrence[recent_pos]
+            if earlier is None:
+                continue
+            if block in miss_sequence[earlier + 1:earlier + 1 + window]:
+                temporal = True
+                break
+        previous_occurrence.append(last_occurrence.get(block))
+        miss_sequence.append(block)
+        last_occurrence[block] = position
+
+        spatial = False
+        if not result.is_trigger:
+            history = spatial_history.get(result.record.index)
+            spatial = (
+                history is not None
+                and amap.offset_in_region(block) in history
+            )
+
+        if measured:
+            if temporal and spatial:
+                counts["both"] += 1
+            elif temporal:
+                counts["tms"] += 1
+            elif spatial:
+                counts["sms"] += 1
+            else:
+                counts["neither"] += 1
+
+    agt.flush()
+    if misses == 0:
+        return JointCoverageResult(trace.name, 0, 0.0, 0.0, 0.0, 0.0)
+    return JointCoverageResult(
+        workload=trace.name,
+        misses=misses,
+        both=counts["both"] / misses,
+        tms_only=counts["tms"] / misses,
+        sms_only=counts["sms"] / misses,
+        neither=counts["neither"] / misses,
+    )

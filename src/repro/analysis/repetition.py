@@ -1,0 +1,157 @@
+"""Temporal-repetition breakdown via Sequitur (Fig. 7 methodology, §5.3).
+
+The paper classifies each element of a miss-address sequence as:
+
+* **non-repetitive** — the address occurrence is not part of any repeated
+  subsequence;
+* **new** — part of the *first* occurrence of a repeated subsequence;
+* **head** — the first element of a subsequent occurrence (a stream must
+  be located before it can be followed, so heads are not coverable);
+* **opportunity** — the remaining elements of repeated occurrences (what
+  temporal streaming can actually cover).
+
+We build the Sequitur grammar and walk the root rule: each non-terminal
+reference expands to a repeated subsequence (rule utility guarantees >= 2
+uses). The first encounter of a rule yields "new" tokens; later
+encounters yield one "head" plus "opportunity". Terminals remaining at
+the root are non-repetitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Set, Tuple
+
+from repro.analysis.sequitur import Rule, Sequitur
+from repro.common.addresses import AddressMap
+from repro.common.config import SystemConfig
+from repro.memsys.hierarchy import Hierarchy, ServiceLevel
+from repro.prefetch.sms.generations import ActiveGenerationTable
+from repro.trace.container import Trace
+
+#: classification labels in display order
+CATEGORIES = ("opportunity", "head", "new", "non_repetitive")
+
+
+@dataclass(frozen=True)
+class RepetitionBreakdown:
+    """Fractions of sequence elements per category (sums to 1)."""
+
+    total: int
+    opportunity: float
+    head: float
+    new: float
+    non_repetitive: float
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.opportunity, self.head, self.new, self.non_repetitive)
+
+    def format(self) -> str:
+        return (
+            f"opportunity={self.opportunity:6.1%} head={self.head:6.1%} "
+            f"new={self.new:6.1%} non-rep={self.non_repetitive:6.1%} "
+            f"(n={self.total})"
+        )
+
+
+def classify_repetition(sequence: Sequence[Hashable]) -> RepetitionBreakdown:
+    """Classify every element of ``sequence`` (Fig. 7 categories)."""
+    n = len(sequence)
+    if n == 0:
+        return RepetitionBreakdown(0, 0.0, 0.0, 0.0, 0.0)
+    grammar = Sequitur.build(sequence)
+    counts = {c: 0 for c in CATEGORIES}
+    seen_rules: Set[int] = set()
+
+    def expand_len(rule: Rule) -> int:
+        length = 0
+        for value in rule.symbols():
+            if isinstance(value, Rule):
+                length += expand_len(value)
+            else:
+                length += 1
+        return length
+
+    def credit(rule: Rule, category: str) -> None:
+        counts[category] += expand_len(rule)
+
+    def walk_new(rule: Rule) -> None:
+        """Expand a first-encounter occurrence: tokens are 'new', except
+        nested rules already seen elsewhere, which repeat."""
+        for value in rule.symbols():
+            if isinstance(value, Rule):
+                if value.id in seen_rules:
+                    counts["head"] += 1
+                    counts["opportunity"] += expand_len(value) - 1
+                else:
+                    seen_rules.add(value.id)
+                    walk_new(value)
+            else:
+                counts["new"] += 1
+
+    for value in grammar.root.symbols():
+        if isinstance(value, Rule):
+            if value.id in seen_rules:
+                counts["head"] += 1
+                counts["opportunity"] += expand_len(value) - 1
+            else:
+                seen_rules.add(value.id)
+                walk_new(value)
+        else:
+            counts["non_repetitive"] += 1
+
+    total = sum(counts.values())
+    assert total == n, f"classification covered {total} of {n} elements"
+    return RepetitionBreakdown(
+        total=n,
+        opportunity=counts["opportunity"] / n,
+        head=counts["head"] / n,
+        new=counts["new"] / n,
+        non_repetitive=counts["non_repetitive"] / n,
+    )
+
+
+def miss_and_trigger_sequences(
+    trace: Trace, system: SystemConfig
+) -> Tuple[List[int], List[int]]:
+    """Replay ``trace`` through the hierarchy; return the off-chip read
+    miss address sequence and its spatial-trigger subsequence (§5.3:
+    "Triggers" are the subset of misses that begin a spatial generation).
+    """
+    hierarchy = Hierarchy(system)
+    amap = system.address_map
+    agt = ActiveGenerationTable(64, amap)
+    misses: List[int] = []
+    triggers: List[int] = []
+    for access in trace:
+        block = amap.block_of(access.address)
+        outcome = hierarchy.access(block)
+        offchip = outcome.level is ServiceLevel.MEMORY
+        result = agt.observe(access.pc, block, offchip=offchip)
+        for evicted in outcome.l1_evictions:
+            agt.on_l1_eviction(evicted)
+        if offchip and not access.is_write:
+            misses.append(block)
+            if result.is_trigger:
+                triggers.append(block)
+    return misses, triggers
+
+
+def repetition_analysis(
+    trace: Trace,
+    system: SystemConfig,
+    max_elements: int = 60000,
+) -> Tuple[RepetitionBreakdown, RepetitionBreakdown]:
+    """Fig. 7 for one workload: (all-misses breakdown, triggers breakdown).
+
+    ``max_elements`` bounds the Sequitur input length (grammar inference
+    over very long sequences is the dominant cost of this analysis). The
+    *tail* of each sequence is analyzed: the paper traces after extensive
+    warming (§5.1), and a cold prefix is dominated by first-traversal
+    compulsory misses that would mask steady-state repetition.
+    """
+    misses, triggers = miss_and_trigger_sequences(trace, system)
+    return (
+        classify_repetition(misses[-max_elements:]),
+        classify_repetition(triggers[-max_elements:]),
+    )

@@ -1,0 +1,249 @@
+"""Sequitur: linear-time hierarchical grammar inference [9].
+
+Used (as in the paper, §5.3, and the prior temporal-streaming studies
+[5, 24]) to quantify repetition in miss-address sequences. The algorithm
+incrementally appends symbols to the root rule while maintaining two
+invariants:
+
+* **digram uniqueness** — no pair of adjacent symbols appears twice in
+  the grammar; a repeated digram becomes (or reuses) a rule;
+* **rule utility** — every non-root rule is referenced at least twice;
+  a rule reduced to a single reference is inlined and deleted.
+
+This is a faithful port of the canonical doubly-linked implementation
+(guard nodes whose value back-points to the owning rule, a digram hash
+index, and the classic triple-overlap repair in ``join``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+Terminal = Hashable
+
+
+class Rule:
+    """A production rule: guard node + doubly-linked body."""
+
+    def __init__(self, grammar: "Sequitur") -> None:
+        self.grammar = grammar
+        self.id = grammar._next_rule_id
+        grammar._next_rule_id += 1
+        self.refcount = 0
+        self.guard = _Symbol(self, grammar)
+        self.refcount -= 1  # the guard's back-pointer is not a real use
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+
+    def first(self) -> "_Symbol":
+        return self.guard.next  # type: ignore[return-value]
+
+    def last(self) -> "_Symbol":
+        return self.guard.prev  # type: ignore[return-value]
+
+    def symbols(self) -> List[Union[Terminal, "Rule"]]:
+        """Current right-hand side as a plain list."""
+        out: List[Union[Terminal, Rule]] = []
+        node = self.first()
+        while not node.is_guard():
+            out.append(node.value)
+            node = node.next  # type: ignore[assignment]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"R{self.id}"
+
+
+def _key(value: Union[Terminal, Rule]):
+    if isinstance(value, Rule):
+        return ("R", value.id)
+    return ("T", value)
+
+
+class _Symbol:
+    """A node in a rule body. Guards carry their owning Rule as value."""
+
+    __slots__ = ("grammar", "value", "prev", "next")
+
+    def __init__(self, value: Union[Terminal, Rule], grammar: "Sequitur") -> None:
+        self.grammar = grammar
+        self.value = value
+        self.prev: Optional["_Symbol"] = None
+        self.next: Optional["_Symbol"] = None
+        if isinstance(value, Rule):
+            value.refcount += 1
+
+    # -- structural helpers ------------------------------------------------------
+
+    def is_guard(self) -> bool:
+        return isinstance(self.value, Rule) and self.value.guard is self
+
+    def is_nonterminal(self) -> bool:
+        return isinstance(self.value, Rule) and not self.is_guard()
+
+    def digram(self) -> Tuple:
+        return (_key(self.value), _key(self.next.value))  # type: ignore[union-attr]
+
+    def join(self, right: "_Symbol") -> None:
+        """Link self -> right, maintaining the digram index."""
+        if self.next is not None:
+            self.delete_digram()
+            # triple-overlap repair (e.g. "aaa"): re-record the digram
+            # that the deletion may have forgotten
+            if (
+                right.prev is not None
+                and right.next is not None
+                and _key(right.value) == _key(right.prev.value)
+                and _key(right.value) == _key(right.next.value)
+            ):
+                self.grammar._index[right.digram()] = right
+            if (
+                self.prev is not None
+                and _key(self.value) == _key(self.prev.value)
+                and self.next is not None
+                and _key(self.value) == _key(self.next.value)
+            ):
+                self.grammar._index[self.prev.digram()] = self.prev
+        self.next = right
+        right.prev = self
+
+    def insert_after(self, symbol: "_Symbol") -> None:
+        symbol.join(self.next)  # type: ignore[arg-type]
+        self.join(symbol)
+
+    def delete(self) -> None:
+        """Unlink self from its rule."""
+        self.prev.join(self.next)  # type: ignore[union-attr, arg-type]
+        if not self.is_guard():
+            self.delete_digram()
+            if isinstance(self.value, Rule):
+                self.value.refcount -= 1
+
+    def delete_digram(self) -> None:
+        if self.is_guard() or self.next is None or self.next.is_guard():
+            return
+        if self.grammar._index.get(self.digram()) is self:
+            del self.grammar._index[self.digram()]
+
+    # -- the invariants ------------------------------------------------------------
+
+    def check(self) -> bool:
+        """Enforce digram uniqueness for (self, self.next)."""
+        if self.is_guard() or self.next is None or self.next.is_guard():
+            return False
+        match = self.grammar._index.get(self.digram())
+        if match is None:
+            self.grammar._index[self.digram()] = self
+            return False
+        if match.next is not self:  # overlapping occurrences are ignored
+            self.process_match(match)
+        return True
+
+    def process_match(self, match: "_Symbol") -> None:
+        if (
+            match.prev is not None
+            and match.prev.is_guard()
+            and match.next is not None
+            and match.next.next is not None
+            and match.next.next.is_guard()
+        ):
+            # the match is a complete rule body: reuse that rule
+            rule: Rule = match.prev.value  # type: ignore[assignment]
+            self.substitute(rule)
+        else:
+            rule = Rule(self.grammar)
+            self.grammar._rules[rule.id] = rule
+            rule.last().insert_after(_Symbol(self.value, self.grammar))
+            rule.last().insert_after(_Symbol(self.next.value, self.grammar))  # type: ignore[union-attr]
+            match.substitute(rule)
+            self.substitute(rule)
+            self.grammar._index[rule.first().digram()] = rule.first()
+        # rule utility: inline a sub-rule used only once
+        first = rule.first()
+        if first.is_nonterminal() and first.value.refcount == 1:  # type: ignore[union-attr]
+            first.expand()
+
+    def substitute(self, rule: Rule) -> None:
+        """Replace (self, self.next) with a reference to ``rule``."""
+        prev = self.prev
+        assert prev is not None
+        prev.next.delete()  # type: ignore[union-attr]
+        prev.next.delete()  # type: ignore[union-attr]
+        prev.insert_after(_Symbol(rule, self.grammar))
+        if not prev.check():
+            prev.next.check()  # type: ignore[union-attr]
+
+    def expand(self) -> None:
+        """Inline this sole reference to its rule (rule utility)."""
+        rule: Rule = self.value  # type: ignore[assignment]
+        left = self.prev
+        right = self.next
+        first = rule.first()
+        last = rule.last()
+        if self.grammar._index.get(self.digram()) is self:
+            del self.grammar._index[self.digram()]
+        self.grammar._rules.pop(rule.id, None)
+        rule.refcount -= 1
+        left.join(first)  # type: ignore[union-attr]
+        last.join(right)  # type: ignore[arg-type]
+        self.grammar._index[last.digram()] = last
+
+
+@dataclass
+class SequiturGrammar:
+    """Finished grammar: the root production plus all sub-rules."""
+
+    root: Rule
+    rules: Dict[int, Rule] = field(default_factory=dict)
+
+    def expand(self) -> List[Terminal]:
+        """Re-derive the original input (sanity invariant for tests)."""
+        out: List[Terminal] = []
+
+        def walk(rule: Rule) -> None:
+            for value in rule.symbols():
+                if isinstance(value, Rule):
+                    walk(value)
+                else:
+                    out.append(value)
+
+        walk(self.root)
+        return out
+
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    def rule_utilities_ok(self) -> bool:
+        """Invariant: every non-root rule is referenced at least twice."""
+        return all(rule.refcount >= 2 for rule in self.rules.values())
+
+
+class Sequitur:
+    """Incremental Sequitur grammar builder."""
+
+    def __init__(self) -> None:
+        self._next_rule_id = 0
+        self._index: Dict[Tuple, _Symbol] = {}
+        self._rules: Dict[int, Rule] = {}
+        self.root = Rule(self)
+
+    def append(self, value: Terminal) -> None:
+        """Append one terminal to the input sequence."""
+        self.root.last().insert_after(_Symbol(value, self))
+        if self.root.first() is not self.root.last():
+            self.root.last().prev.check()  # type: ignore[union-attr]
+
+    def feed(self, values: Iterable[Terminal]) -> None:
+        for value in values:
+            self.append(value)
+
+    def grammar(self) -> SequiturGrammar:
+        return SequiturGrammar(root=self.root, rules=dict(self._rules))
+
+    @staticmethod
+    def build(values: Iterable[Terminal]) -> SequiturGrammar:
+        """One-shot convenience constructor."""
+        s = Sequitur()
+        s.feed(values)
+        return s.grammar()

@@ -1,0 +1,116 @@
+"""Temporal stream-length analysis (§2.1 / [24]).
+
+The paper's case for temporal streaming rests on sequences being *long*
+("frequently hundreds of misses"), which amortizes the cost of locating
+a stream. This analysis measures that property directly: replaying the
+miss sequence, it greedily matches each miss against the continuation of
+its previous occurrence (with the streaming lookahead tolerance used by
+the Fig. 6 classifier) and records how long each matched run survives.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.trace.container import Trace
+
+
+@dataclass
+class StreamLengthResult:
+    """Distribution of matched temporal-stream lengths."""
+
+    workload: str
+    lengths: Counter = field(default_factory=Counter)
+
+    @property
+    def total_streams(self) -> int:
+        return sum(self.lengths.values())
+
+    @property
+    def covered_misses(self) -> int:
+        return sum(length * count for length, count in self.lengths.items())
+
+    def mean_length(self) -> float:
+        total = self.total_streams
+        return self.covered_misses / total if total else 0.0
+
+    def fraction_of_misses_in_streams_of_at_least(self, minimum: int) -> float:
+        covered = self.covered_misses
+        if covered == 0:
+            return 0.0
+        long_enough = sum(
+            length * count
+            for length, count in self.lengths.items()
+            if length >= minimum
+        )
+        return long_enough / covered
+
+    def format(self) -> str:
+        return (
+            f"{self.workload:<9} streams={self.total_streams:>6} "
+            f"mean={self.mean_length():6.1f} "
+            f">=10: {self.fraction_of_misses_in_streams_of_at_least(10):6.1%} "
+            f">=100: {self.fraction_of_misses_in_streams_of_at_least(100):6.1%}"
+        )
+
+
+def stream_lengths_of_sequence(
+    misses: Sequence[int], lookahead: int = 8, tolerance: int = 2
+) -> StreamLengthResult:
+    """Greedy stream matching over a miss-address sequence.
+
+    A stream starts when a miss address has a previous occurrence; it
+    continues while subsequent misses appear within ``lookahead``
+    positions of the stream's cursor in the historical sequence. Up to
+    ``tolerance`` consecutive unmatched misses are ridden out without
+    ending the stream — a real stream's SVB blocks stay staged while the
+    processor takes an unpredictable detour — after which the stream ends
+    and a new one is located from the unmatched address.
+    """
+    result = StreamLengthResult(workload="sequence")
+    last_occurrence: Dict[int, int] = {}
+    cursor: Optional[int] = None  # position in history the stream follows
+    current_length = 0
+    unmatched_run = 0
+
+    def close_stream() -> None:
+        nonlocal current_length, unmatched_run
+        if current_length > 0:
+            result.lengths[current_length] += 1
+        current_length = 0
+        unmatched_run = 0
+
+    for position, block in enumerate(misses):
+        matched = False
+        if cursor is not None:
+            window = misses[cursor:cursor + lookahead]
+            if block in window:
+                offset = window.index(block)
+                cursor += offset + 1
+                current_length += 1
+                unmatched_run = 0
+                matched = True
+        if not matched:
+            unmatched_run += 1
+            if cursor is None or unmatched_run > tolerance:
+                close_stream()
+                earlier = last_occurrence.get(block)
+                cursor = earlier + 1 if earlier is not None else None
+        last_occurrence[block] = position
+    close_stream()
+    return result
+
+
+def stream_length_analysis(
+    trace: Trace, system: SystemConfig, lookahead: int = 8
+) -> StreamLengthResult:
+    """Stream-length distribution for ``trace``'s off-chip read misses."""
+    from repro.analysis.repetition import miss_and_trigger_sequences
+
+    misses, _ = miss_and_trigger_sequences(trace, system)
+    result = stream_lengths_of_sequence(misses, lookahead=lookahead)
+    result.workload = trace.name
+    return result

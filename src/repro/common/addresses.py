@@ -1,0 +1,98 @@
+"""Address arithmetic shared by the caches, prefetchers and analyses.
+
+The simulator works with three granularities:
+
+* **byte addresses** — what workload generators emit,
+* **block numbers** — byte address with the block-offset bits stripped
+  (the cache and all prefetchers operate on these),
+* **regions** — fixed-size groups of consecutive blocks (2 KB = 32 blocks
+  in the paper), the granularity of spatial correlation.
+
+All conversions live in :class:`AddressMap` so that every component agrees
+on the geometry and tests can exercise non-default geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Fixed address geometry: block size and spatial-region size.
+
+    Parameters mirror the paper: 64-byte cache blocks and 2 KB spatial
+    regions (32 blocks per region).
+    """
+
+    block_bytes: int = 64
+    region_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.block_bytes <= 0 or self.block_bytes & (self.block_bytes - 1):
+            raise ValueError(f"block_bytes must be a power of two, got {self.block_bytes}")
+        if self.region_bytes <= 0 or self.region_bytes & (self.region_bytes - 1):
+            raise ValueError(f"region_bytes must be a power of two, got {self.region_bytes}")
+        if self.region_bytes < self.block_bytes:
+            raise ValueError("region_bytes must be >= block_bytes")
+
+    @property
+    def block_bits(self) -> int:
+        """Number of byte-offset bits within a block."""
+        return self.block_bytes.bit_length() - 1
+
+    @property
+    def region_bits(self) -> int:
+        """Number of byte-offset bits within a region."""
+        return self.region_bytes.bit_length() - 1
+
+    @property
+    def blocks_per_region(self) -> int:
+        return self.region_bytes // self.block_bytes
+
+    @property
+    def region_block_bits(self) -> int:
+        """Number of block-offset bits within a region."""
+        return self.blocks_per_region.bit_length() - 1
+
+    # -- byte address -> coarser granularities ------------------------------
+
+    def block_of(self, byte_addr: int) -> int:
+        """Block number containing ``byte_addr``."""
+        return byte_addr >> self.block_bits
+
+    def region_of(self, byte_addr: int) -> int:
+        """Region number containing ``byte_addr``."""
+        return byte_addr >> self.region_bits
+
+    # -- block number helpers ------------------------------------------------
+
+    def region_of_block(self, block: int) -> int:
+        """Region number containing block number ``block``."""
+        return block >> self.region_block_bits
+
+    def offset_in_region(self, block: int) -> int:
+        """Block offset (0 .. blocks_per_region-1) of ``block`` in its region."""
+        return block & (self.blocks_per_region - 1)
+
+    def region_base_block(self, block: int) -> int:
+        """First block number of the region containing ``block``."""
+        return block & ~(self.blocks_per_region - 1)
+
+    def block_in_region(self, region: int, offset: int) -> int:
+        """Block number at ``offset`` within ``region``."""
+        if not 0 <= offset < self.blocks_per_region:
+            raise ValueError(
+                f"offset {offset} out of range for {self.blocks_per_region}-block regions"
+            )
+        return (region << self.region_block_bits) | offset
+
+    # -- block number -> byte address ---------------------------------------
+
+    def byte_of_block(self, block: int) -> int:
+        """Base byte address of ``block``."""
+        return block << self.block_bits
+
+
+#: Geometry used throughout the paper: 64 B blocks, 2 KB regions.
+DEFAULT_ADDRESS_MAP = AddressMap()

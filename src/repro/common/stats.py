@@ -1,0 +1,88 @@
+"""Hierarchical statistics counters.
+
+Every simulator component owns a :class:`StatGroup`; the driver merges them
+into one report. Counters are created on first use so components do not
+need to pre-declare everything they might count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class StatGroup:
+    """A named bag of integer/float counters with optional sub-groups."""
+
+    def __init__(self, name: str = "stats") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._children: Dict[str, "StatGroup"] = {}
+
+    # -- counters -------------------------------------------------------------
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        self._counters[key] = value
+
+    def get(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def __getitem__(self, key: str) -> float:
+        return self.get(key)
+
+    def counters(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    # -- sub-groups -------------------------------------------------------------
+
+    def child(self, name: str) -> "StatGroup":
+        """Return (creating if needed) the sub-group ``name``."""
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def children(self) -> Iterator["StatGroup"]:
+        return iter(self._children.values())
+
+    # -- derived ----------------------------------------------------------------
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters (0.0 when the denominator is zero)."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def merge(self, other: "StatGroup") -> None:
+        """Accumulate ``other`` into this group (recursively)."""
+        for key, value in other._counters.items():
+            self._counters[key] += value
+        for name, sub in other._children.items():
+            self.child(name).merge(sub)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested plain-dict view (for JSON output and test assertions)."""
+        out: Dict[str, object] = dict(self._counters)
+        for name, sub in self._children.items():
+            out[name] = sub.to_dict()
+        return out
+
+    def format(self, indent: int = 0) -> str:
+        """Human-readable multi-line rendering."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.name}:"]
+        for key, value in self.counters():
+            if float(value).is_integer():
+                lines.append(f"{pad}  {key}: {int(value)}")
+            else:
+                lines.append(f"{pad}  {key}: {value:.4f}")
+        for sub in self._children.values():
+            lines.append(sub.format(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, {dict(self._counters)!r})"

@@ -1,0 +1,33 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every harness exposes ``run(config) -> result`` plus a text formatter so
+``python -m repro.experiments <name>`` regenerates the corresponding
+rows. ``ExperimentConfig.small()`` is the fast preset used by tests and
+benchmarks; the default preset matches EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import (
+    baselines,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    hybrid,
+    sensitivity,
+    table1,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "hybrid",
+    "sensitivity",
+    "baselines",
+]

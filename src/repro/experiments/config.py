@@ -1,0 +1,84 @@
+"""Shared experiment configuration and the per-category predictor factory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import SMSConfig, STeMSConfig, SystemConfig, TMSConfig
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.composite import CompositePrefetcher
+from repro.prefetch.hybrid import NaiveHybridPrefetcher
+from repro.prefetch.sms.sms import SMSPrefetcher
+from repro.prefetch.stems.stems import STeMSPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.tms.tms import TMSPrefetcher
+from repro.trace.container import Trace
+from repro.workloads.registry import WORKLOAD_CATEGORIES, WORKLOAD_NAMES, make_workload
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment harnesses."""
+
+    trace_length: int = 200_000
+    seed: int = 42
+    system: SystemConfig = field(default_factory=SystemConfig.scaled)
+    workloads: List[str] = field(default_factory=lambda: list(WORKLOAD_NAMES))
+    #: leading trace fraction excluded from Fig. 6 classification counts
+    skip_fraction: float = 0.3
+    #: leading trace fraction excluded from Fig. 10 cycle counts
+    warmup_fraction: float = 0.4
+    #: Sequitur input bound for Fig. 7 (grammar inference dominates cost)
+    sequitur_max: int = 50_000
+
+    @staticmethod
+    def small() -> "ExperimentConfig":
+        """Fast preset for tests and pytest-benchmark runs."""
+        return ExperimentConfig(trace_length=40_000, sequitur_max=15_000)
+
+    # -- trace cache ------------------------------------------------------------
+
+    _cache: Dict[tuple, Trace] = field(default_factory=dict, repr=False)
+
+    def trace(self, workload: str) -> Trace:
+        """Generate (and memoize) the trace for ``workload``."""
+        key = (workload, self.trace_length, self.seed)
+        if key not in self._cache:
+            self._cache[key] = make_workload(workload).generate(
+                self.trace_length, seed=self.seed
+            )
+        return self._cache[key]
+
+    # -- predictor factory ---------------------------------------------------------
+
+    def scientific(self, workload: str) -> bool:
+        return WORKLOAD_CATEGORIES.get(workload) == "scientific"
+
+    def make_prefetcher(
+        self, kind: str, workload: str, with_stride: bool = False
+    ) -> Optional[Prefetcher]:
+        """Build a predictor; scientific workloads use lookahead 12 (§4.3)."""
+        sci = self.scientific(workload)
+        main: Optional[Prefetcher]
+        if kind == "none":
+            return None
+        if kind == "stride":
+            return StridePrefetcher()
+        if kind == "tms":
+            main = TMSPrefetcher(TMSConfig(lookahead=12) if sci else TMSConfig())
+        elif kind == "sms":
+            main = SMSPrefetcher(SMSConfig())
+        elif kind == "stems":
+            main = STeMSPrefetcher(
+                STeMSConfig.scientific() if sci else STeMSConfig()
+            )
+        elif kind == "hybrid":
+            main = NaiveHybridPrefetcher(
+                TMSConfig(lookahead=12) if sci else TMSConfig(), SMSConfig()
+            )
+        else:
+            raise ValueError(f"unknown prefetcher kind {kind!r}")
+        if with_stride:
+            return CompositePrefetcher(main)
+        return main

@@ -1,0 +1,41 @@
+"""Figure 7: Sequitur temporal repetition of all misses vs spatial triggers.
+
+Paper headline: 47% of region-granularity (trigger) misses recur in
+repetitive sequences, similar to the 45% repetition of all misses; in
+OLTP/web, trigger repetition is 5-15% lower than all-miss repetition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.repetition import RepetitionBreakdown, repetition_analysis
+from repro.experiments.config import ExperimentConfig
+
+Row = Tuple[RepetitionBreakdown, RepetitionBreakdown]
+
+
+def run(config: ExperimentConfig) -> Dict[str, Row]:
+    results: Dict[str, Row] = {}
+    for name in config.workloads:
+        results[name] = repetition_analysis(
+            config.trace(name), config.system, max_elements=config.sequitur_max
+        )
+    return results
+
+
+def format_table(results: Dict[str, Row]) -> str:
+    lines = [
+        "== Figure 7: temporal repetition (Sequitur) ==",
+        f"{'workload':<9} {'seq':>9} {'opportunity':>12} {'head':>7} "
+        f"{'new':>7} {'non-rep':>8}",
+    ]
+    for name, (all_misses, triggers) in results.items():
+        for label, b in (("all", all_misses), ("triggers", triggers)):
+            lines.append(
+                f"{name:<9} {label:>9} {b.opportunity:>12.1%} {b.head:>7.1%} "
+                f"{b.new:>7.1%} {b.non_repetitive:>8.1%}"
+            )
+    lines.append("paper: ~45% opportunity for all misses, ~47% for triggers; "
+                 "triggers 5-15% lower in OLTP/web")
+    return "\n".join(lines)

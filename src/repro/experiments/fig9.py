@@ -1,0 +1,83 @@
+"""Figure 9: covered / uncovered / overpredicted misses for TMS, SMS and
+STeMS, normalized to the baseline system's off-chip read misses.
+
+Paper headline: in OLTP/web STeMS predicts ~8% more misses than the best
+underlying predictor (coverage 50-56%); in DSS STeMS ~= SMS and TMS is
+ineffective; on average STeMS covers 62% and overpredicts 29%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.config import ExperimentConfig
+from repro.sim.driver import SimulationDriver
+
+PREDICTORS = ("tms", "sms", "stems")
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    """One predictor's bar for one workload."""
+
+    workload: str
+    predictor: str
+    baseline_misses: int
+    covered: float
+    uncovered: float
+    overpredicted: float
+
+
+def run(config: ExperimentConfig) -> Dict[str, List[Fig9Row]]:
+    results: Dict[str, List[Fig9Row]] = {}
+    for name in config.workloads:
+        trace = config.trace(name)
+        baseline = SimulationDriver(config.system, None).run(trace)
+        base_misses = max(1, baseline.uncovered)
+        rows: List[Fig9Row] = []
+        for kind in PREDICTORS:
+            prefetcher = config.make_prefetcher(kind, name)
+            result = SimulationDriver(config.system, prefetcher).run(trace)
+            rows.append(
+                Fig9Row(
+                    workload=name,
+                    predictor=kind,
+                    baseline_misses=base_misses,
+                    covered=result.covered / base_misses,
+                    uncovered=max(0.0, 1.0 - result.covered / base_misses),
+                    overpredicted=result.overpredictions / base_misses,
+                )
+            )
+        results[name] = rows
+    return results
+
+
+def format_table(results: Dict[str, List[Fig9Row]]) -> str:
+    lines = [
+        "== Figure 9: memory streaming comparison "
+        "(normalized to baseline off-chip read misses) ==",
+        f"{'workload':<9} {'predictor':<9} {'covered':>8} {'uncovered':>10} "
+        f"{'overpred':>9}",
+    ]
+    for name, rows in results.items():
+        for r in rows:
+            lines.append(
+                f"{r.workload:<9} {r.predictor:<9} {r.covered:>8.1%} "
+                f"{r.uncovered:>10.1%} {r.overpredicted:>9.1%}"
+            )
+    per_predictor: Dict[str, List[Fig9Row]] = {}
+    for rows in results.values():
+        for r in rows:
+            per_predictor.setdefault(r.predictor, []).append(r)
+    for kind, rows in per_predictor.items():
+        n = len(rows)
+        lines.append(
+            f"{'average':<9} {kind:<9} "
+            f"{sum(r.covered for r in rows)/n:>8.1%} "
+            f"{sum(r.uncovered for r in rows)/n:>10.1%} "
+            f"{sum(r.overpredicted for r in rows)/n:>9.1%}"
+        )
+    lines.append("paper: STeMS >= max(TMS, SMS) on all commercial workloads; "
+                 "avg STeMS coverage 62%, overpredictions 29%")
+    return "\n".join(lines)

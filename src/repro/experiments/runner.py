@@ -1,0 +1,100 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig9 --length 150000 --seed 7
+    python -m repro.experiments all --workloads db2 qry2 em3d
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import (
+    baselines,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    hybrid,
+    sensitivity,
+    table1,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.registry import WORKLOAD_NAMES
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "hybrid": hybrid,
+    "sensitivity": sensitivity,
+    "baselines": baselines,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate tables/figures of 'Spatio-Temporal Memory "
+        "Streaming' (ISCA 2009)",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' covers the paper's "
+        "artifacts; 'sensitivity' and 'baselines' are extensions run "
+        "by name)",
+    )
+    parser.add_argument("--length", type=int, default=None,
+                        help="trace length per workload")
+    parser.add_argument("--seed", type=int, default=None, help="trace seed")
+    parser.add_argument(
+        "--workloads", nargs="+", choices=WORKLOAD_NAMES, default=None,
+        help="subset of workloads to evaluate",
+    )
+    parser.add_argument("--small", action="store_true",
+                        help="use the fast preset (tests/benchmarks)")
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.small() if args.small else ExperimentConfig()
+    if args.length is not None:
+        config.trace_length = args.length
+    if args.seed is not None:
+        config.seed = args.seed
+    if args.workloads is not None:
+        config.workloads = list(args.workloads)
+    return config
+
+
+def run_one(name: str, config: ExperimentConfig) -> str:
+    module = EXPERIMENTS[name]
+    result = module.run(config)
+    return module.format_table(result)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = make_config(args)
+    paper_set = ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "hybrid"]
+    names = paper_set if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(run_one(name, config))
+        print(f"[{name}: {time.time() - started:.1f}s]", file=sys.stderr)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

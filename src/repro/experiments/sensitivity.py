@@ -1,0 +1,98 @@
+"""Sensitivity sweeps over the §4.3 hardware-cost parameters.
+
+The paper fixes the RMOB at 128K entries, the PST at 16K entries, the SVB
+at 64 entries and the lookahead at 8/12, and argues each choice in §4.3.
+This harness sweeps each knob independently (one workload per category by
+default) so the knee of every curve can be checked against that argument:
+
+* RMOB entries — temporal history reach;
+* PST entries — spatial pattern reach;
+* SVB entries — staging capacity vs. eviction-before-use;
+* lookahead — timeliness vs. overprediction at stream ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.common.config import STeMSConfig
+from repro.experiments.config import ExperimentConfig
+from repro.prefetch.stems.stems import STeMSPrefetcher
+from repro.sim.driver import SimulationDriver
+
+#: default sweep points per knob
+SWEEPS: Dict[str, Sequence[int]] = {
+    "rmob_entries": (1024, 4096, 16384, 65536),
+    "pst_entries": (64, 256, 1024, 16384),
+    "svb_entries": (16, 32, 64, 128),
+    "lookahead": (2, 4, 8, 16),
+}
+
+#: one representative workload per category keeps the sweep tractable
+DEFAULT_WORKLOADS = ("apache", "db2", "qry2", "em3d")
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    workload: str
+    knob: str
+    value: int
+    coverage: float
+    overpredictions: float
+
+
+def _prefetcher_for(knob: str, value: int, base: STeMSConfig) -> STeMSPrefetcher:
+    if knob == "svb_entries":
+        return STeMSPrefetcher(base)
+    return STeMSPrefetcher(replace(base, **{knob: value}))
+
+
+def run(
+    config: ExperimentConfig,
+    knobs: Sequence[str] = tuple(SWEEPS),
+) -> List[SensitivityPoint]:
+    points: List[SensitivityPoint] = []
+    workloads = [w for w in config.workloads if w in DEFAULT_WORKLOADS]
+    if not workloads:
+        workloads = [config.workloads[0]]
+    for name in workloads:
+        trace = config.trace(name)
+        baseline = SimulationDriver(config.system, None).run(trace)
+        base_misses = max(1, baseline.uncovered)
+        base_stems = STeMSConfig.scientific() if config.scientific(name) \
+            else STeMSConfig()
+        for knob in knobs:
+            if knob not in SWEEPS:
+                raise ValueError(f"unknown sensitivity knob {knob!r}")
+            for value in SWEEPS[knob]:
+                system = config.system
+                if knob == "svb_entries":
+                    system = replace(system, svb_entries=value)
+                prefetcher = _prefetcher_for(knob, value, base_stems)
+                result = SimulationDriver(system, prefetcher).run(trace)
+                points.append(
+                    SensitivityPoint(
+                        workload=name,
+                        knob=knob,
+                        value=value,
+                        coverage=result.covered / base_misses,
+                        overpredictions=result.overpredictions / base_misses,
+                    )
+                )
+    return points
+
+
+def format_table(points: List[SensitivityPoint]) -> str:
+    lines = [
+        "== STeMS sensitivity to the §4.3 hardware parameters ==",
+        f"{'workload':<9} {'knob':<14} {'value':>7} {'coverage':>9} "
+        f"{'overpred':>9}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.workload:<9} {p.knob:<14} {p.value:>7} {p.coverage:>9.1%} "
+            f"{p.overpredictions:>9.1%}"
+        )
+    lines.append("paper sizing: RMOB 128K, PST 16K, SVB 64, lookahead 8/12")
+    return "\n".join(lines)

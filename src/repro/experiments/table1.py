@@ -1,0 +1,48 @@
+"""Table 1: system and application parameters."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.registry import WORKLOAD_CATEGORIES, make_workload
+
+
+def run(config: ExperimentConfig) -> List[str]:
+    """Render both halves of Table 1 for the active configuration."""
+    system = config.system
+    lines = ["== Table 1 (left): system parameters =="]
+    lines.append(
+        f"L1d cache        : {system.l1.size_bytes // 1024} KB "
+        f"{system.l1.associativity}-way, {system.l1.block_bytes} B blocks"
+    )
+    lines.append(
+        f"L2 cache         : {system.l2.size_bytes // 1024} KB "
+        f"{system.l2.associativity}-way, {system.l2.block_bytes} B blocks"
+    )
+    t = system.timing
+    lines.append(
+        f"core             : {t.issue_width}-wide, {t.rob_window}-entry window, "
+        f"{t.max_outstanding_misses} outstanding misses"
+    )
+    lines.append(
+        f"latencies        : L1 {t.l1_latency} / L2 {t.l2_latency} / "
+        f"memory {t.memory_latency} / SVB {t.svb_latency} cycles"
+    )
+    lines.append(
+        f"spatial regions  : {system.address_map.region_bytes} B "
+        f"({system.address_map.blocks_per_region} blocks); "
+        f"SVB {system.svb_entries} entries"
+    )
+    lines.append("")
+    lines.append("== Table 1 (right): application suite ==")
+    for name in config.workloads:
+        workload = make_workload(name)
+        lines.append(
+            f"{name:<8} [{WORKLOAD_CATEGORIES[name]:<10}] {workload.description}"
+        )
+    return lines
+
+
+def format_table(lines: List[str]) -> str:
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Set-associative cache model operating on block numbers.
+
+The cache is purely functional state (no timing): lookups report hit/miss
+and fills report the evicted block, which the hierarchy forwards to
+prefetchers — SMS/STeMS terminate a spatial generation when one of the
+generation's blocks leaves the L1 (§2.4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class CacheAccess:
+    """Outcome of one cache access."""
+
+    hit: bool
+    evicted_block: Optional[int] = None
+    #: True when the evicted block had been installed by a prefetch and
+    #: was never demand-referenced (an overprediction for L1-install SMS).
+    evicted_unused_prefetch: bool = False
+
+
+class Cache:
+    """LRU set-associative cache keyed by block number.
+
+    Each resident block carries a ``prefetched`` flag so that prefetchers
+    installing straight into the cache (SMS) can account useless fetches.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        # one OrderedDict per set: block -> prefetched flag
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self._num_sets)
+        ]
+
+    def _set_index(self, block: int) -> int:
+        return block % self._num_sets
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._sets[self._set_index(block)]
+
+    def lookup(self, block: int, touch: bool = True) -> bool:
+        """Probe for ``block``. A hit clears its prefetched flag."""
+        return self.demand_lookup(block, touch)[0]
+
+    def demand_lookup(self, block: int, touch: bool = True) -> "Tuple[bool, bool]":
+        """Probe for ``block``; returns (hit, first_touch_of_prefetched_block).
+
+        The second flag is True exactly once per prefetched block: on the
+        first demand reference after a prefetch install. L1-install
+        prefetchers (SMS) count that event as a covered miss.
+        """
+        ways = self._sets[self._set_index(block)]
+        if block not in ways:
+            return False, False
+        was_prefetched = ways[block]
+        ways[block] = False  # demand reference: no longer a useless prefetch
+        if touch:
+            ways.move_to_end(block)
+        return True, was_prefetched
+
+    def fill(self, block: int, prefetched: bool = False) -> CacheAccess:
+        """Install ``block``; returns the victim (if any)."""
+        ways = self._sets[self._set_index(block)]
+        if block in ways:
+            ways.move_to_end(block)
+            if not prefetched:
+                ways[block] = False
+            return CacheAccess(hit=True)
+        evicted_block = None
+        evicted_unused = False
+        if len(ways) >= self._assoc:
+            evicted_block, evicted_unused = ways.popitem(last=False)
+        ways[block] = prefetched
+        return CacheAccess(
+            hit=False,
+            evicted_block=evicted_block,
+            evicted_unused_prefetch=evicted_unused,
+        )
+
+    def invalidate(self, block: int) -> bool:
+        """Drop ``block`` if resident; returns whether it was present."""
+        ways = self._sets[self._set_index(block)]
+        return ways.pop(block, None) is not None
+
+    def resident_blocks(self) -> List[int]:
+        """All resident block numbers (test/diagnostic helper)."""
+        out: List[int] = []
+        for ways in self._sets:
+            out.extend(ways.keys())
+        return out
+
+    def unused_prefetch_count(self) -> int:
+        """Resident prefetched blocks never demand-referenced (end-of-run)."""
+        return sum(1 for ways in self._sets for flag in ways.values() if flag)
+
+    def __len__(self) -> int:
+        return sum(len(ways) for ways in self._sets)

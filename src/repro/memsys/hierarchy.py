@@ -1,0 +1,112 @@
+"""Two-level cache hierarchy with off-chip miss classification.
+
+The hierarchy is the substrate every prefetcher is evaluated on: it turns
+the raw access stream into L1 hits, L2 hits and off-chip misses (the
+prediction target of TMS/SMS/STeMS), and reports L1 evictions so spatial
+generations can be terminated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.stats import StatGroup
+from repro.memsys.cache import Cache
+
+
+class ServiceLevel(enum.Enum):
+    """Where a demand access was serviced."""
+
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+    SVB = "svb"  # assigned by the driver, never by the hierarchy itself
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one demand access through the hierarchy."""
+
+    level: ServiceLevel
+    #: blocks evicted from L1 by this access (0 or 1 entries)
+    l1_evictions: List[int] = field(default_factory=list)
+    #: an L1-installed prefetch left the L1 without ever being referenced
+    l1_unused_prefetch_evicted: bool = False
+    #: first demand touch of an L1-installed prefetched block (covered miss)
+    prefetch_hit: bool = False
+
+
+class Hierarchy:
+    """Inclusive-of-nothing two-level hierarchy (L1d + unified L2).
+
+    The model is non-inclusive/non-exclusive like most real hierarchies:
+    fills go into both levels, and L1 evictions do not back-invalidate L2.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2)
+        self.stats = StatGroup("hierarchy")
+
+    def access(self, block: int) -> AccessOutcome:
+        """Demand access to ``block``; fills on miss; classifies the level."""
+        self.stats.add("accesses")
+        hit, prefetch_hit = self.l1.demand_lookup(block)
+        if hit:
+            self.stats.add("l1_hits")
+            return AccessOutcome(ServiceLevel.L1, prefetch_hit=prefetch_hit)
+
+        outcome_level = ServiceLevel.L2
+        if self.l2.lookup(block):
+            self.stats.add("l2_hits")
+        else:
+            self.stats.add("offchip_misses")
+            outcome_level = ServiceLevel.MEMORY
+            self.l2.fill(block)
+
+        fill = self.l1.fill(block)
+        evictions = [fill.evicted_block] if fill.evicted_block is not None else []
+        return AccessOutcome(
+            outcome_level,
+            l1_evictions=evictions,
+            l1_unused_prefetch_evicted=fill.evicted_unused_prefetch,
+        )
+
+    def fill_from_svb(self, block: int) -> AccessOutcome:
+        """Move a consumed SVB block into the hierarchy (L1 + L2)."""
+        self.l2.fill(block)
+        fill = self.l1.fill(block)
+        evictions = [fill.evicted_block] if fill.evicted_block is not None else []
+        return AccessOutcome(
+            ServiceLevel.SVB,
+            l1_evictions=evictions,
+            l1_unused_prefetch_evicted=fill.evicted_unused_prefetch,
+        )
+
+    def install_prefetch(self, block: int) -> AccessOutcome:
+        """Install an L1-targeted prefetch (the standalone-SMS design).
+
+        The fetched data passes through L2 as on a real fill; the
+        prefetched flag lives in L1 only, so the unused-eviction
+        overprediction accounting stays unambiguous.
+        """
+        self.l2.fill(block)
+        fill = self.l1.fill(block, prefetched=True)
+        evictions = [fill.evicted_block] if fill.evicted_block is not None else []
+        return AccessOutcome(
+            ServiceLevel.L1,
+            l1_evictions=evictions,
+            l1_unused_prefetch_evicted=fill.evicted_unused_prefetch,
+        )
+
+    def present(self, block: int) -> Optional[ServiceLevel]:
+        """Which level currently holds ``block`` (no state change)."""
+        if block in self.l1:
+            return ServiceLevel.L1
+        if block in self.l2:
+            return ServiceLevel.L2
+        return None

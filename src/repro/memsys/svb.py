@@ -1,0 +1,81 @@
+"""Streamed value buffer (SVB): the staging buffer for prefetched blocks.
+
+The paper uses a 64-entry SVB (§4.3). Prefetched blocks wait here; a
+processor request that finds its block in the SVB is a *covered* miss and
+the block moves into the cache hierarchy. Blocks evicted (or invalidated
+when their stream is killed) without ever being consumed are
+*overpredictions*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+
+class StreamedValueBuffer:
+    """Fixed-capacity LRU buffer of prefetched blocks tagged by stream id."""
+
+    def __init__(
+        self,
+        capacity: int,
+        on_discard_unused: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"SVB capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._blocks: "OrderedDict[int, int]" = OrderedDict()  # block -> stream id
+        self._on_discard_unused = on_discard_unused
+        self.inserted = 0
+        self.consumed = 0
+        self.discarded_unused = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+    def insert(self, block: int, stream_id: int = -1) -> None:
+        """Stage a prefetched block, evicting the LRU entry when full."""
+        if block in self._blocks:
+            self._blocks.move_to_end(block)
+            self._blocks[block] = stream_id
+            return
+        if len(self._blocks) >= self.capacity:
+            victim, victim_stream = self._blocks.popitem(last=False)
+            self._discard(victim, victim_stream)
+        self._blocks[block] = stream_id
+        self.inserted += 1
+
+    def consume(self, block: int) -> Optional[int]:
+        """Remove ``block`` on a demand hit; returns its stream id or None."""
+        stream = self._blocks.pop(block, None)
+        if stream is None:
+            return None
+        self.consumed += 1
+        return stream
+
+    def invalidate_stream(self, stream_id: int) -> int:
+        """Drop all blocks of a killed stream; returns how many were unused."""
+        victims = [b for b, s in self._blocks.items() if s == stream_id]
+        for block in victims:
+            del self._blocks[block]
+            self._discard(block, stream_id)
+        return len(victims)
+
+    def drain_unused(self) -> int:
+        """End-of-run accounting: every remaining block was never used."""
+        count = len(self._blocks)
+        for block, stream in list(self._blocks.items()):
+            self._discard(block, stream)
+        self._blocks.clear()
+        return count
+
+    def blocks(self) -> List[int]:
+        return list(self._blocks.keys())
+
+    def _discard(self, block: int, stream_id: int) -> None:
+        self.discarded_unused += 1
+        if self._on_discard_unused is not None:
+            self._on_discard_unused(block, stream_id)

@@ -1,0 +1,13 @@
+"""Spatial Memory Streaming (SMS, [21]) with the paper's 2-bit-counter
+history upgrade (§4.3)."""
+
+from repro.prefetch.sms.generations import ActiveGenerationTable, GenerationRecord
+from repro.prefetch.sms.pht import PatternHistoryTable
+from repro.prefetch.sms.sms import SMSPrefetcher
+
+__all__ = [
+    "ActiveGenerationTable",
+    "GenerationRecord",
+    "PatternHistoryTable",
+    "SMSPrefetcher",
+]

@@ -1,0 +1,146 @@
+"""Active generation table (AGT): tracks live spatial generations.
+
+A spatial generation (§2.4) starts with the first — *trigger* — access to
+an inactive region and ends when one of the region's accessed blocks is
+evicted or invalidated from the L1, or when the AGT entry itself is
+displaced. The AGT accumulates the order of first-touches; SMS reduces the
+order to a pattern, while STeMS keeps the full sequence together with each
+element's *delta* (global off-chip misses skipped since the previous
+element of this region, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.common.addresses import AddressMap
+from repro.common.lru import LRUTable
+
+#: spatial prediction index: (trigger PC, trigger offset-in-region), §2.4
+SpatialIndex = Tuple[int, int]
+
+
+@dataclass
+class SequenceElement:
+    """One first-touch in a generation (trigger excluded)."""
+
+    offset: int
+    #: off-chip misses between the previous element of this region's
+    #: sequence (the trigger for the first element) and this one
+    delta: int
+    #: whether the first touch was serviced off chip
+    offchip: bool
+
+
+@dataclass
+class GenerationRecord:
+    """State of one active spatial generation."""
+
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+    #: first-touch sequence, in order, excluding the trigger
+    elements: List[SequenceElement] = field(default_factory=list)
+    touched: Set[int] = field(default_factory=set)
+    #: global miss count at the most recent element (or trigger)
+    last_miss_count: int = 0
+
+    @property
+    def index(self) -> SpatialIndex:
+        return (self.trigger_pc, self.trigger_offset)
+
+    def accessed_offsets(self) -> Set[int]:
+        """All offsets touched this generation, including the trigger."""
+        return set(self.touched)
+
+
+@dataclass(frozen=True)
+class ObserveResult:
+    """What the AGT saw for one access."""
+
+    is_trigger: bool
+    record: GenerationRecord
+
+
+class ActiveGenerationTable:
+    """Fixed-capacity table of active generations with LRU displacement."""
+
+    def __init__(
+        self,
+        entries: int,
+        address_map: AddressMap,
+        on_generation_end: Optional[Callable[[GenerationRecord], None]] = None,
+    ) -> None:
+        self.address_map = address_map
+        self._on_end = on_generation_end
+        self._table: LRUTable[int, GenerationRecord] = LRUTable(
+            entries, on_evict=self._evict
+        )
+        self.generations_started = 0
+        self.generations_ended = 0
+
+    def _evict(self, region: int, record: GenerationRecord) -> None:
+        self.generations_ended += 1
+        if self._on_end is not None:
+            self._on_end(record)
+
+    def is_active(self, region: int) -> bool:
+        return region in self._table
+
+    def get(self, region: int) -> Optional[GenerationRecord]:
+        return self._table.peek(region)
+
+    def observe(
+        self, pc: int, block: int, offchip: bool, global_miss_count: int = 0
+    ) -> ObserveResult:
+        """Record one L1 access; returns whether it was a trigger.
+
+        ``global_miss_count`` is the number of off-chip read events seen
+        *before* this access. Deltas count misses strictly between
+        consecutive elements of a region's sequence (Fig. 3), so an
+        off-chip element advances ``last_miss_count`` one past its own
+        position while a cache-hit element does not.
+        """
+        amap = self.address_map
+        region = amap.region_of_block(block)
+        offset = amap.offset_in_region(block)
+        record = self._table.get(region)
+        bump = 1 if offchip else 0
+        if record is None:
+            record = GenerationRecord(
+                region=region,
+                trigger_pc=pc,
+                trigger_offset=offset,
+                touched={offset},
+                last_miss_count=global_miss_count + bump,
+            )
+            self._table.put(region, record)
+            self.generations_started += 1
+            return ObserveResult(is_trigger=True, record=record)
+        if offset not in record.touched:
+            record.touched.add(offset)
+            delta = max(0, global_miss_count - record.last_miss_count)
+            record.elements.append(
+                SequenceElement(offset=offset, delta=delta, offchip=offchip)
+            )
+            record.last_miss_count = global_miss_count + bump
+        return ObserveResult(is_trigger=False, record=record)
+
+    def on_l1_eviction(self, block: int) -> None:
+        """End the generation owning ``block`` if it touched that block."""
+        amap = self.address_map
+        region = amap.region_of_block(block)
+        record = self._table.peek(region)
+        if record is None:
+            return
+        if amap.offset_in_region(block) in record.touched:
+            self._table.pop(region)
+            self._evict(region, record)
+
+    def flush(self) -> None:
+        """End every active generation (end-of-run training)."""
+        for region in list(self._table):
+            record = self._table.pop(region)
+            if record is not None:
+                self._evict(region, record)

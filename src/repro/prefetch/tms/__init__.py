@@ -1,0 +1,6 @@
+"""Temporal Memory Streaming (TMS, [26]): CMOB + stream queues."""
+
+from repro.prefetch.tms.cmob import CircularMissBuffer, MissEntry
+from repro.prefetch.tms.tms import TMSPrefetcher
+
+__all__ = ["CircularMissBuffer", "MissEntry", "TMSPrefetcher"]

@@ -1,0 +1,7 @@
+"""Simulation: the coverage driver and the analytical timing model."""
+
+from repro.sim.driver import SimulationDriver
+from repro.sim.results import CoverageResult, TimingResult
+from repro.sim.timing import simulate_timing
+
+__all__ = ["SimulationDriver", "CoverageResult", "TimingResult", "simulate_timing"]

@@ -1,0 +1,151 @@
+"""Trace-driven coverage simulation (the Fig. 9 methodology).
+
+The driver walks a trace through the cache hierarchy with one prefetcher
+attached, maintaining the SVB for stream-based prefetchers and L1-install
+semantics for SMS, and classifies every read access:
+
+* **covered** — serviced by a prefetched block (present in the SVB at
+  request time, or first touch of an L1-installed prefetch);
+* **uncovered** — an off-chip miss the prefetcher did not hide;
+* **overprediction** — a prefetched block discarded without ever being
+  demand-referenced (SVB eviction/drain or unused L1 eviction).
+
+Prefetch requests for blocks already on chip (L1, L2 or SVB) are dropped
+without cost: they would not generate an off-chip fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SystemConfig
+from repro.memsys.hierarchy import Hierarchy, ServiceLevel
+from repro.memsys.svb import StreamedValueBuffer
+from repro.prefetch.base import TARGET_L1, TARGET_SVB, AccessEvent, Prefetcher
+from repro.sim.results import (
+    SERVICE_L1,
+    SERVICE_L2,
+    SERVICE_MEMORY,
+    SERVICE_PREFETCHED_L1,
+    SERVICE_SVB,
+    CoverageResult,
+)
+from repro.trace.container import Trace
+
+
+class SimulationDriver:
+    """Runs one prefetcher over one trace and accounts coverage."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        prefetcher: Optional[Prefetcher] = None,
+        record_service: bool = False,
+    ) -> None:
+        self.system = system
+        self.prefetcher = prefetcher
+        self.record_service = record_service
+
+    def run(self, trace: Trace) -> CoverageResult:
+        system = self.system
+        prefetcher = self.prefetcher
+        amap = system.address_map
+        hierarchy = Hierarchy(system)
+        result = CoverageResult(
+            workload=trace.name,
+            prefetcher=prefetcher.name if prefetcher else "none",
+        )
+        def _discard(block: int, stream: int) -> None:
+            result.overpredictions += 1
+            if prefetcher is not None:
+                prefetcher.on_svb_discard(block, stream)
+
+        svb = StreamedValueBuffer(system.svb_entries, on_discard_unused=_discard)
+        service = [] if self.record_service else None
+
+        for access in trace:
+            block = amap.block_of(access.address)
+            is_read = not access.is_write
+            result.accesses += 1
+            if is_read:
+                result.reads += 1
+            else:
+                result.writes += 1
+
+            covered = False
+            stream_id = -1
+            if block in svb:
+                consumed = svb.consume(block)
+                stream_id = consumed if consumed is not None else -1
+                outcome = hierarchy.fill_from_svb(block)
+                level = ServiceLevel.SVB
+                covered = True
+                if is_read:
+                    result.covered += 1
+                klass = SERVICE_SVB
+            else:
+                outcome = hierarchy.access(block)
+                level = outcome.level
+                if outcome.prefetch_hit:
+                    covered = True
+                    if is_read:
+                        result.covered += 1
+                    klass = SERVICE_PREFETCHED_L1
+                elif level is ServiceLevel.L1:
+                    result.l1_hits += 1
+                    klass = SERVICE_L1
+                elif level is ServiceLevel.L2:
+                    result.l2_hits += 1
+                    klass = SERVICE_L2
+                else:
+                    if is_read:
+                        result.uncovered += 1
+                    klass = SERVICE_MEMORY
+            if service is not None:
+                service.append(klass)
+
+            if prefetcher is None:
+                self._account_evictions(result, outcome, None)
+                continue
+
+            self._account_evictions(result, outcome, prefetcher)
+            prefetcher.on_access(
+                AccessEvent(
+                    access=access,
+                    block=block,
+                    level=level,
+                    covered=covered,
+                    stream_id=stream_id,
+                )
+            )
+            for request in prefetcher.pop_requests():
+                target = request.target or prefetcher.install_target
+                pf_block = request.block
+                if pf_block in svb or hierarchy.present(pf_block) is not None:
+                    continue  # already on chip: no off-chip fetch needed
+                result.issued_prefetches += 1
+                if target == TARGET_SVB:
+                    svb.insert(pf_block, request.stream_id)
+                elif target == TARGET_L1:
+                    outcome = hierarchy.install_prefetch(pf_block)
+                    self._account_evictions(result, outcome, prefetcher)
+                else:
+                    raise ValueError(f"unknown prefetch target {target!r}")
+
+        # end of run: whatever was fetched but never used is erroneous
+        svb.drain_unused()
+        result.overpredictions += hierarchy.l1.unused_prefetch_count()
+        if prefetcher is not None and hasattr(prefetcher, "finish"):
+            prefetcher.finish()
+            if hasattr(prefetcher, "stats"):
+                result.prefetcher_stats = prefetcher.stats.to_dict()
+        result.service = service
+        return result
+
+    @staticmethod
+    def _account_evictions(result, outcome, prefetcher) -> None:
+        if outcome.l1_unused_prefetch_evicted:
+            result.overpredictions += 1
+        if prefetcher is not None:
+            for block in outcome.l1_evictions:
+                prefetcher.on_l1_eviction(block)

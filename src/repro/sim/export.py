@@ -1,0 +1,82 @@
+"""Result export: CSV / JSON writers and an ASCII bar renderer.
+
+Experiment harnesses return plain dataclasses; these helpers turn any
+list of them into files (for plotting elsewhere) or quick terminal
+charts (for eyeballing figure shapes without matplotlib).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def _as_records(rows: Sequence[Any]) -> List[Dict[str, Any]]:
+    records = []
+    for row in rows:
+        if dataclasses.is_dataclass(row) and not isinstance(row, type):
+            record = dataclasses.asdict(row)
+            # include computed properties (speedup, coverage, ...)
+            for name in dir(type(row)):
+                attr = getattr(type(row), name, None)
+                if isinstance(attr, property):
+                    record[name] = getattr(row, name)
+            records.append(record)
+        elif isinstance(row, Mapping):
+            records.append(dict(row))
+        else:
+            raise TypeError(f"cannot export row of type {type(row).__name__}")
+    return records
+
+
+def write_csv(rows: Sequence[Any], path: PathLike) -> Path:
+    """Write dataclass/mapping rows as CSV; returns the path."""
+    records = _as_records(rows)
+    if not records:
+        raise ValueError("nothing to export")
+    path = Path(path)
+    fields = list(records[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for record in records:
+            writer.writerow({k: record.get(k, "") for k in fields})
+    return path
+
+
+def write_json(rows: Sequence[Any], path: PathLike) -> Path:
+    """Write dataclass/mapping rows as a JSON array; returns the path."""
+    records = _as_records(rows)
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(records, handle, indent=2, default=str)
+    return path
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:6.1%}",
+) -> str:
+    """Render a labeled horizontal bar chart, e.g. for coverage figures.
+
+    >>> print(ascii_bars({"tms": 0.3, "stems": 0.6}, width=10))
+    tms    30.0% |#####     |
+    stems  60.0% |##########|
+    """
+    if not values:
+        return ""
+    label_width = max(len(k) for k in values)
+    peak = max(values.values()) or 1.0
+    lines = []
+    for label, value in values.items():
+        filled = int(round(width * value / peak)) if peak > 0 else 0
+        filled = max(0, min(width, filled))
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{label:<{label_width}} {fmt.format(value)} |{bar}|")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Trace infrastructure: access records, trace containers and statistics."""
+
+from repro.trace.events import MemoryAccess
+from repro.trace.container import Trace
+from repro.trace.tracestats import TraceStats, summarize_trace
+
+__all__ = ["MemoryAccess", "Trace", "TraceStats", "summarize_trace"]

@@ -1,0 +1,101 @@
+"""Trace container: an ordered collection of MemoryAccess records plus
+metadata (workload name, category, generation parameters) and persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.trace.events import MemoryAccess
+
+
+@dataclass
+class Trace:
+    """An ordered memory-reference trace with provenance metadata."""
+
+    name: str
+    category: str = "synthetic"
+    accesses: List[MemoryAccess] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def __getitem__(self, idx: int) -> MemoryAccess:
+        return self.accesses[idx]
+
+    def append(
+        self,
+        pc: int,
+        address: int,
+        is_write: bool = False,
+        depends_on: Optional[int] = None,
+        instr_gap: int = 4,
+    ) -> MemoryAccess:
+        """Append an access, assigning the next index automatically."""
+        access = MemoryAccess(
+            index=len(self.accesses),
+            pc=pc,
+            address=address,
+            is_write=is_write,
+            depends_on=depends_on,
+            instr_gap=instr_gap,
+        )
+        self.accesses.append(access)
+        return access
+
+    def extend(self, accesses: Sequence[MemoryAccess]) -> None:
+        """Append pre-built accesses, validating the index sequence."""
+        for access in accesses:
+            if access.index != len(self.accesses):
+                raise ValueError(
+                    f"access index {access.index} does not continue the trace "
+                    f"(expected {len(self.accesses)})"
+                )
+            self.accesses.append(access)
+
+    def reads(self) -> Iterator[MemoryAccess]:
+        return (a for a in self.accesses if not a.is_write)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON-lines (one access per line after a header)."""
+        path = Path(path)
+        with path.open("w") as handle:
+            header = {
+                "name": self.name,
+                "category": self.category,
+                "metadata": self.metadata,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for a in self.accesses:
+                record = [a.pc, a.address, int(a.is_write), a.depends_on, a.instr_gap]
+                handle.write(json.dumps(record) + "\n")
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "Trace":
+        path = Path(path)
+        with path.open() as handle:
+            header = json.loads(handle.readline())
+            trace = Trace(
+                name=header["name"],
+                category=header.get("category", "synthetic"),
+                metadata=header.get("metadata", {}),
+            )
+            for line in handle:
+                pc, address, is_write, depends_on, instr_gap = json.loads(line)
+                trace.append(
+                    pc=pc,
+                    address=address,
+                    is_write=bool(is_write),
+                    depends_on=depends_on,
+                    instr_gap=instr_gap,
+                )
+        return trace

@@ -1,0 +1,47 @@
+"""The memory-access record that flows through the whole pipeline.
+
+Workload generators emit :class:`MemoryAccess` objects; the coverage
+driver classifies each one; the timing model consumes the classification.
+``depends_on`` encodes pointer-chase dependences — the address of this
+access was loaded by an earlier access — which is what lets the timing
+model reproduce the paper's key performance asymmetry (TMS parallelizes
+dependent chains; spatial bursts already overlap in the baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference in a trace.
+
+    Attributes:
+        index: position in the trace (0-based, unique).
+        pc: program counter of the instruction issuing the access.
+        address: byte address referenced.
+        is_write: writes train predictors but are never prefetch targets
+            here (the paper evaluates off-chip *read* misses).
+        depends_on: index of the access that produced this address
+            (pointer chase), or None for address-independent accesses.
+        instr_gap: instructions executed since the previous memory access
+            (drives the timing model's issue-rate term).
+    """
+
+    index: int
+    pc: int
+    address: int
+    is_write: bool = False
+    depends_on: Optional[int] = None
+    instr_gap: int = 4
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.depends_on is not None and self.depends_on >= self.index:
+            raise ValueError(
+                f"depends_on ({self.depends_on}) must reference an earlier access "
+                f"than {self.index}"
+            )

@@ -1,0 +1,77 @@
+"""Descriptive statistics over traces (footprint, density, dependences).
+
+Used by tests to validate that each synthetic workload has the structural
+properties the paper attributes to its real counterpart, and by examples
+to characterize generated traces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.addresses import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.trace.container import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace."""
+
+    accesses: int
+    reads: int
+    writes: int
+    unique_blocks: int
+    unique_regions: int
+    footprint_bytes: int
+    dependent_fraction: float
+    mean_region_density: float
+    unique_pcs: int
+
+    def format(self) -> str:
+        lines = [
+            f"accesses:            {self.accesses}",
+            f"reads / writes:      {self.reads} / {self.writes}",
+            f"unique blocks:       {self.unique_blocks}",
+            f"unique regions:      {self.unique_regions}",
+            f"footprint:           {self.footprint_bytes / (1024 * 1024):.2f} MiB",
+            f"dependent fraction:  {self.dependent_fraction:.3f}",
+            f"mean region density: {self.mean_region_density:.2f} blocks/region",
+            f"unique PCs:          {self.unique_pcs}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize_trace(
+    trace: Trace, address_map: AddressMap = DEFAULT_ADDRESS_MAP
+) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    blocks = set()
+    region_blocks: Dict[int, set] = defaultdict(set)
+    pcs = set()
+    reads = writes = dependent = 0
+    for access in trace:
+        block = address_map.block_of(access.address)
+        blocks.add(block)
+        region_blocks[address_map.region_of_block(block)].add(block)
+        pcs.add(access.pc)
+        if access.is_write:
+            writes += 1
+        else:
+            reads += 1
+        if access.depends_on is not None:
+            dependent += 1
+    n = len(trace)
+    densities = [len(v) for v in region_blocks.values()]
+    return TraceStats(
+        accesses=n,
+        reads=reads,
+        writes=writes,
+        unique_blocks=len(blocks),
+        unique_regions=len(region_blocks),
+        footprint_bytes=len(blocks) * address_map.block_bytes,
+        dependent_fraction=(dependent / n) if n else 0.0,
+        mean_region_density=(sum(densities) / len(densities)) if densities else 0.0,
+        unique_pcs=len(pcs),
+    )

@@ -1,0 +1,527 @@
+"""Reusable access-pattern components.
+
+Each component models one structural behaviour the paper attributes to its
+applications:
+
+* :class:`ChainTraversalComponent` — repeated pointer-chased traversals of
+  scattered buffer-pool pages (OLTP/web; temporal correlation, and spatial
+  correlation when the page layout is code-stable);
+* :class:`ScanComponent` — scans of never-before-seen pages with a fixed
+  layout (DSS; compulsory misses, spatial-only opportunity);
+* :class:`HotStructureComponent` — a small, hot working set (cache hits);
+* :class:`NoiseComponent` — isolated, unpredictable accesses (the
+  "neither" category of Fig. 6);
+* :class:`GraphTraversalComponent` — em3d: a perfectly repetitive miss
+  sequence that jumps randomly over memory (temporal-perfect,
+  spatially ambiguous);
+* :class:`GridSweepComponent` — ocean: dense sequential sweeps (both
+  correlations strong, stride-friendly);
+* :class:`GatherComponent` — sparse SpMV: sequential matrix arrays plus a
+  repetitive random gather with iteration-parity delta toggling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.container import Trace
+from repro.workloads.base import TraceComponent
+
+_BLOCK = 64
+_REGION = 2048
+_BLOCKS_PER_REGION = _REGION // _BLOCK
+
+
+def _scatter_pages(rng: random.Random, count: int, span_pages: int) -> List[int]:
+    """``count`` distinct page indices scattered across ``span_pages`` slots."""
+    if count > span_pages:
+        raise ValueError(f"cannot scatter {count} pages into {span_pages} slots")
+    return rng.sample(range(span_pages), count)
+
+
+class ChainTraversalComponent(TraceComponent):
+    """Repeated traversals of page chains in a scattered buffer pool.
+
+    Pages are visited chain-by-chain in a fixed order; each visit runs a
+    per-component code path over the page. ``layout_mode``:
+
+    * ``"stable"`` — the same block offsets on every page (code-correlated
+      layout: spatially predictable, SMS-friendly);
+    * ``"private"`` — per-page random offsets, fixed across visits (the
+      addresses repeat so TMS predicts them, but the shared PC+offset
+      index sees conflicting patterns so SMS cannot).
+
+    ``pointer_chase=True`` makes each page's first access depend on the
+    previous page's pointer load — the dependent-miss chains TMS
+    parallelizes (§2.1).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        base_pc: int,
+        address_base: int,
+        setup_seed: int,
+        num_chains: int = 8,
+        pages_per_chain: int = 128,
+        layout_mode: str = "stable",
+        layout_blocks: int = 6,
+        pointer_chase: bool = True,
+        mutation_rate: float = 0.01,
+        unstable_access_prob: float = 0.08,
+        write_prob: float = 0.15,
+        instr_gap: int = 6,
+        run_bursts: int = 3,
+    ) -> None:
+        if layout_mode not in ("stable", "private"):
+            raise ValueError(f"unknown layout_mode {layout_mode!r}")
+        self.label = label
+        self.run_bursts = run_bursts
+        self.base_pc = base_pc
+        self.address_base = address_base
+        self.layout_mode = layout_mode
+        self.pointer_chase = pointer_chase
+        self.mutation_rate = mutation_rate
+        self.unstable_access_prob = unstable_access_prob
+        self.write_prob = write_prob
+        self.instr_gap = instr_gap
+        self.layout_blocks = layout_blocks
+
+        setup = random.Random(setup_seed)
+        total_pages = num_chains * pages_per_chain
+        span = max(total_pages * 4, 64)
+        slots = _scatter_pages(setup, total_pages, span)
+        self._page_span = span
+        self._next_fresh_slot = span  # fresh pages for mutations go past span
+        self._chains: List[List[int]] = [
+            [
+                address_base + slots[c * pages_per_chain + p] * _REGION
+                for p in range(pages_per_chain)
+            ]
+            for c in range(num_chains)
+        ]
+        # stable layout: header, then data offsets, shared by all pages
+        data = setup.sample(range(2, _BLOCKS_PER_REGION), layout_blocks)
+        self._stable_offsets: List[int] = [0] + data
+        self._private_offsets: Dict[int, List[int]] = {}
+        self._private_rng = random.Random(setup_seed ^ 0x5F5F5F5F)
+
+        self._chain: Optional[int] = None
+        self._pos = 0
+        self._last_pointer_index: Optional[int] = None
+
+    def _offsets_for(self, page_addr: int) -> List[int]:
+        if self.layout_mode == "stable":
+            return self._stable_offsets
+        offsets = self._private_offsets.get(page_addr)
+        if offsets is None:
+            data = self._private_rng.sample(
+                range(2, _BLOCKS_PER_REGION), self.layout_blocks
+            )
+            offsets = [0] + data
+            self._private_offsets[page_addr] = offsets
+        return offsets
+
+    def _fresh_page(self) -> int:
+        addr = self.address_base + self._next_fresh_slot * _REGION
+        self._next_fresh_slot += 1
+        return addr
+
+    def emit_burst(self, trace: Trace, rng: random.Random) -> int:
+        if self._chain is None:
+            self._chain = rng.randrange(len(self._chains))
+            self._pos = 0
+            self._last_pointer_index = None
+            if self.mutation_rate > 0:
+                chain = self._chains[self._chain]
+                for i in range(len(chain)):
+                    if rng.random() < self.mutation_rate:
+                        chain[i] = self._fresh_page()
+        chain = self._chains[self._chain]
+        page_addr = chain[self._pos]
+        emitted = self._visit_page(trace, rng, page_addr)
+        self._pos += 1
+        if self._pos >= len(chain):
+            self._chain = None
+        return emitted
+
+    def _visit_page(self, trace: Trace, rng: random.Random, page_addr: int) -> int:
+        offsets = list(self._offsets_for(page_addr))
+        if rng.random() < self.unstable_access_prob:
+            extra = rng.randrange(_BLOCKS_PER_REGION)
+            if extra not in offsets:
+                offsets.append(extra)
+        if len(offsets) > 3 and rng.random() < 0.1:
+            # occasional local reordering among data blocks (Fig. 8's +-2
+            # correlation-distance mass): never moves the trigger
+            swap = rng.randrange(1, len(offsets) - 1)
+            offsets[swap], offsets[swap + 1] = offsets[swap + 1], offsets[swap]
+        emitted = 0
+        first_index = None
+        for step, offset in enumerate(offsets):
+            depends = None
+            if step == 0 and self.pointer_chase:
+                depends = self._last_pointer_index
+            is_write = step > 0 and rng.random() < self.write_prob
+            access = trace.append(
+                pc=self.base_pc + step * 4,
+                address=page_addr + offset * _BLOCK,
+                is_write=is_write,
+                depends_on=depends,
+                instr_gap=self.instr_gap,
+            )
+            if step == 0:
+                first_index = access.index
+            emitted += 1
+        # the header holds the next-page pointer: chase it from access 0
+        self._last_pointer_index = first_index
+        return emitted
+
+
+class ScanComponent(TraceComponent):
+    """Sequential scan over never-before-seen pages with a fixed layout.
+
+    Models DSS table scans: every page is compulsory (TMS cannot help) but
+    the layout is produced by the same code on every page, so SMS learns
+    it once and predicts all subsequent pages (§2.4). Pages are scattered
+    with a bijective multiplicative hash — real buffer pools allocate the
+    next free frame, so scans are not contiguous in physical memory.
+    """
+
+    #: odd multiplier => bijection on the page-slot space (a power of two)
+    _HASH_MULTIPLIER = 0x9E3779B1
+
+    def __init__(
+        self,
+        label: str,
+        base_pc: int,
+        address_base: int,
+        setup_seed: int,
+        data_blocks: int = 14,
+        write_prob: float = 0.05,
+        instr_gap: int = 5,
+        span_pages_log2: int = 22,
+        block_presence: float = 0.9,
+        run_bursts: int = 4,
+    ) -> None:
+        self.label = label
+        self.run_bursts = run_bursts
+        self.base_pc = base_pc
+        self.address_base = address_base
+        self.write_prob = write_prob
+        self.instr_gap = instr_gap
+        #: per-page probability that a given data block is actually touched
+        #: (tuples failing the predicate are skipped on real scans)
+        self.block_presence = block_presence
+        self._span_mask = (1 << span_pages_log2) - 1
+        setup = random.Random(setup_seed)
+        data = setup.sample(range(2, _BLOCKS_PER_REGION), data_blocks)
+        self._offsets = [0, 1] + data  # page id, slot directory, tuples
+        self._page_counter = 0
+
+    def emit_burst(self, trace: Trace, rng: random.Random) -> int:
+        slot = (self._page_counter * self._HASH_MULTIPLIER) & self._span_mask
+        self._page_counter += 1
+        page_addr = self.address_base + slot * _REGION
+        emitted = 0
+        for step, offset in enumerate(self._offsets):
+            if step > 1 and rng.random() > self.block_presence:
+                continue
+            is_write = step > 1 and rng.random() < self.write_prob
+            trace.append(
+                pc=self.base_pc + step * 4,
+                address=page_addr + offset * _BLOCK,
+                is_write=is_write,
+                instr_gap=self.instr_gap,
+            )
+            emitted += 1
+        return emitted
+
+
+class HotStructureComponent(TraceComponent):
+    """A small hot working set visited in a repeating order (cache hits)."""
+
+    def __init__(
+        self,
+        label: str,
+        base_pc: int,
+        address_base: int,
+        setup_seed: int,
+        num_regions: int = 48,
+        blocks_per_visit: int = 4,
+        instr_gap: int = 4,
+        run_bursts: int = 2,
+    ) -> None:
+        self.label = label
+        self.run_bursts = run_bursts
+        self.base_pc = base_pc
+        self.instr_gap = instr_gap
+        setup = random.Random(setup_seed)
+        slots = _scatter_pages(setup, num_regions, num_regions * 4)
+        self._regions = [address_base + s * _REGION for s in slots]
+        self._offsets = setup.sample(range(_BLOCKS_PER_REGION), blocks_per_visit)
+        self._position = 0
+
+    def emit_burst(self, trace: Trace, rng: random.Random) -> int:
+        region = self._regions[self._position % len(self._regions)]
+        self._position += 1
+        for step, offset in enumerate(self._offsets):
+            trace.append(
+                pc=self.base_pc + step * 4,
+                address=region + offset * _BLOCK,
+                instr_gap=self.instr_gap,
+            )
+        return len(self._offsets)
+
+
+class NoiseComponent(TraceComponent):
+    """Isolated accesses to random, never-revisited blocks.
+
+    These are the Fig. 6 "neither" misses: no address repetition (defeats
+    TMS) and single-block regions (the trigger is the only access, which
+    SMS cannot predict).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        base_pc: int,
+        address_base: int,
+        write_prob: float = 0.1,
+        instr_gap: int = 18,
+        span_blocks_log2: int = 27,
+        run_bursts: int = 6,
+    ) -> None:
+        self.label = label
+        self.run_bursts = run_bursts
+        self.base_pc = base_pc
+        self.address_base = address_base
+        self.write_prob = write_prob
+        self.instr_gap = instr_gap
+        self._span_mask = (1 << span_blocks_log2) - 1
+
+    def emit_burst(self, trace: Trace, rng: random.Random) -> int:
+        block = rng.getrandbits(40) & self._span_mask
+        trace.append(
+            pc=self.base_pc,
+            address=self.address_base + block * _BLOCK,
+            is_write=rng.random() < self.write_prob,
+            instr_gap=self.instr_gap,
+        )
+        return 1
+
+
+class GraphTraversalComponent(TraceComponent):
+    """em3d-style graph sweep: a sequential node-array walk whose neighbor
+    links jump randomly over the whole array.
+
+    Every iteration visits the node array in the same order with the same
+    neighbor lists, so the global miss sequence repeats perfectly (TMS ~
+    perfect, §5.5). Spatially, the node-array walk is dense but random
+    neighbor hits trigger regions early and at varying offsets, so the
+    same trigger PC leads to many different patterns — SMS cannot
+    disambiguate them (§5.2) and covers only part of the traffic.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        base_pc: int,
+        address_base: int,
+        setup_seed: int,
+        num_nodes: int = 40000,
+        degree: int = 2,
+        nodes_per_burst: int = 4,
+        instr_gap: int = 7,
+    ) -> None:
+        self.label = label
+        self.base_pc = base_pc
+        self.instr_gap = instr_gap
+        self.degree = degree
+        self.nodes_per_burst = nodes_per_burst
+        setup = random.Random(setup_seed)
+        self._node_addr = [address_base + b * _BLOCK for b in range(num_nodes)]
+        self._neighbors = [
+            [setup.randrange(num_nodes) for _ in range(degree)]
+            for _ in range(num_nodes)
+        ]
+        self._cursor = 0
+
+    def emit_burst(self, trace: Trace, rng: random.Random) -> int:
+        emitted = 0
+        n = len(self._node_addr)
+        for _ in range(self.nodes_per_burst):
+            node = self._cursor % n
+            self._cursor += 1
+            node_access = trace.append(
+                pc=self.base_pc,
+                address=self._node_addr[node],
+                instr_gap=self.instr_gap,
+            )
+            emitted += 1
+            for j, neighbor in enumerate(self._neighbors[node]):
+                trace.append(
+                    pc=self.base_pc + 4 + j * 4,
+                    address=self._node_addr[neighbor],
+                    depends_on=node_access.index,  # pointer chase
+                    instr_gap=self.instr_gap,
+                )
+                emitted += 1
+        return emitted
+
+
+class GridSweepComponent(TraceComponent):
+    """ocean-style relaxation: dense sequential sweeps over large arrays.
+
+    Spatial patterns are dense and perfectly stable; the sweep repeats
+    every iteration so the temporal sequence is repetitive too. The
+    stride-1 structure also favours the baseline stride prefetcher, which
+    is why the paper's ocean speedups are modest for all predictors.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        base_pc: int,
+        address_base: int,
+        num_arrays: int = 3,
+        blocks_per_array: int = 12288,
+        blocks_per_burst: int = 8,
+        phases: int = 2,
+        instr_gap: int = 8,
+        write_last_array: bool = True,
+    ) -> None:
+        self.label = label
+        self.base_pc = base_pc
+        self.instr_gap = instr_gap
+        self.blocks_per_burst = blocks_per_burst
+        self.phases = phases
+        self.write_last_array = write_last_array
+        # odd padding keeps the arrays from aliasing to the same cache sets
+        self._arrays = [
+            address_base + i * (blocks_per_array + 1031) * _BLOCK
+            for i in range(num_arrays)
+        ]
+        self._blocks_per_array = blocks_per_array
+        self._phase = 0
+        self._position = 0
+
+    def emit_burst(self, trace: Trace, rng: random.Random) -> int:
+        emitted = 0
+        stride = 1 + (self._phase % 2)  # phase 1 is a red-black half-sweep
+        for _ in range(self.blocks_per_burst):
+            if self._position >= self._blocks_per_array:
+                self._position = 0
+                self._phase = (self._phase + 1) % self.phases
+                stride = 1 + (self._phase % 2)
+            for a, base in enumerate(self._arrays):
+                is_write = self.write_last_array and a == len(self._arrays) - 1
+                trace.append(
+                    pc=self.base_pc + (self._phase * len(self._arrays) + a) * 4,
+                    address=base + self._position * _BLOCK,
+                    is_write=is_write,
+                    instr_gap=self.instr_gap,
+                )
+                emitted += 1
+            self._position += stride
+        return emitted
+
+
+class GatherComponent(TraceComponent):
+    """sparse-style SpMV: sequential matrix arrays plus a repetitive
+    random gather from the source vector.
+
+    The gather targets are fixed per matrix, so every iteration repeats
+    exactly the same global miss sequence (TMS ~ perfect). Odd and even
+    rows, however, interleave their index/value/gather accesses
+    differently — and since a given source-vector region is gathered from
+    rows of both parities, the *same spatial pattern toggles between two
+    delta sequences*: reconstruction picks the wrong deltas for half the
+    visits, which is exactly why the paper's STeMS loses coverage on
+    sparse (§5.5).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        base_pc: int,
+        address_base: int,
+        setup_seed: int,
+        num_rows: int = 4096,
+        nnz_per_row: int = 8,
+        x_blocks: int = 32768,
+        rows_per_burst: int = 2,
+        instr_gap: int = 6,
+    ) -> None:
+        self.label = label
+        self.base_pc = base_pc
+        self.instr_gap = instr_gap
+        self.rows_per_burst = rows_per_burst
+        self.num_rows = num_rows
+        self.nnz_per_row = nnz_per_row
+        setup = random.Random(setup_seed)
+        nnz = num_rows * nnz_per_row
+        self._col_base = address_base
+        self._val_base = address_base + (1 << 30)
+        self._x_base = address_base + (2 << 30)
+        self._y_base = address_base + (3 << 30)
+        #: fixed gather target block per nonzero (the matrix's sparsity)
+        self._gather_blocks = [setup.randrange(x_blocks) for _ in range(nnz)]
+        self._row = 0
+        self._iteration = 0
+
+    def emit_burst(self, trace: Trace, rng: random.Random) -> int:
+        emitted = 0
+        for _ in range(self.rows_per_burst):
+            row = self._row
+            emitted += self._emit_row(trace, row)
+            self._row += 1
+            if self._row >= self.num_rows:
+                self._row = 0
+                self._iteration += 1
+        return emitted
+
+    def _emit_row(self, trace: Trace, row: int) -> int:
+        emitted = 0
+        base_e = row * self.nnz_per_row
+        # index/value loads: sequential blocks (16 idx / 8 values per block)
+        col_access = trace.append(
+            pc=self.base_pc,
+            address=self._col_base + (base_e // 16) * _BLOCK,
+            instr_gap=self.instr_gap,
+        )
+        emitted += 1
+        gathers = [
+            self._gather_blocks[base_e + e] for e in range(self.nnz_per_row)
+        ]
+        # value-block loads: even rows load all values up front, odd rows
+        # spread them between gathers — same addresses and order across
+        # iterations (TMS-perfect), different delta interleave per parity
+        value_points = (
+            {0} if row % 2 == 0 else {0, len(gathers) // 2, len(gathers) - 1}
+        )
+        for e, gather_block in enumerate(gathers):
+            if e in value_points:
+                trace.append(
+                    pc=self.base_pc + 4,
+                    address=self._val_base + ((base_e + e) // 8) * _BLOCK,
+                    instr_gap=self.instr_gap,
+                )
+                emitted += 1
+            trace.append(
+                pc=self.base_pc + 8 + (e % 2) * 4,
+                address=self._x_base + gather_block * _BLOCK,
+                depends_on=col_access.index,
+                instr_gap=self.instr_gap,
+            )
+            emitted += 1
+        if row % 8 == 0:
+            trace.append(
+                pc=self.base_pc + 16,
+                address=self._y_base + (row // 8) * _BLOCK,
+                is_write=True,
+                instr_gap=self.instr_gap,
+            )
+            emitted += 1
+        return emitted

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.addresses import AddressMap
+from repro.common.config import SystemConfig
+from repro.trace.container import Trace
+
+
+@pytest.fixture
+def amap() -> AddressMap:
+    return AddressMap()
+
+
+@pytest.fixture
+def tiny_system() -> SystemConfig:
+    return SystemConfig.tiny()
+
+
+@pytest.fixture
+def scaled_system() -> SystemConfig:
+    return SystemConfig.scaled()
+
+
+def make_trace(addresses, pcs=None, name="test", writes=None, deps=None) -> Trace:
+    """Convenience: build a trace from byte-address / pc lists."""
+    trace = Trace(name=name)
+    for i, address in enumerate(addresses):
+        pc = pcs[i] if pcs is not None else 0x1000
+        is_write = bool(writes[i]) if writes is not None else False
+        dep = deps[i] if deps is not None else None
+        trace.append(pc=pc, address=address, is_write=is_write, depends_on=dep)
+    return trace
+
+
+@pytest.fixture
+def trace_builder():
+    return make_trace

@@ -1,0 +1,96 @@
+"""Unit and property tests for address/region arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.addresses import DEFAULT_ADDRESS_MAP, AddressMap
+
+
+class TestDefaults:
+    def test_paper_geometry(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.block_bytes == 64
+        assert amap.region_bytes == 2048
+        assert amap.blocks_per_region == 32
+        assert amap.block_bits == 6
+        assert amap.region_bits == 11
+        assert amap.region_block_bits == 5
+
+    def test_block_of(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.block_of(0) == 0
+        assert amap.block_of(63) == 0
+        assert amap.block_of(64) == 1
+        assert amap.block_of(2048) == 32
+
+    def test_region_of(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.region_of(0) == 0
+        assert amap.region_of(2047) == 0
+        assert amap.region_of(2048) == 1
+
+    def test_offset_in_region(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.offset_in_region(0) == 0
+        assert amap.offset_in_region(31) == 31
+        assert amap.offset_in_region(32) == 0
+
+    def test_block_in_region_roundtrip(self):
+        amap = DEFAULT_ADDRESS_MAP
+        block = amap.block_in_region(7, 13)
+        assert amap.region_of_block(block) == 7
+        assert amap.offset_in_region(block) == 13
+
+    def test_block_in_region_bounds(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ADDRESS_MAP.block_in_region(0, 32)
+        with pytest.raises(ValueError):
+            DEFAULT_ADDRESS_MAP.block_in_region(0, -1)
+
+    def test_region_base_block(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.region_base_block(33) == 32
+        assert amap.region_base_block(32) == 32
+        assert amap.region_base_block(31) == 0
+
+    def test_byte_of_block(self):
+        assert DEFAULT_ADDRESS_MAP.byte_of_block(3) == 192
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            AddressMap(block_bytes=48)
+
+    def test_rejects_non_power_of_two_region(self):
+        with pytest.raises(ValueError):
+            AddressMap(region_bytes=3000)
+
+    def test_rejects_region_smaller_than_block(self):
+        with pytest.raises(ValueError):
+            AddressMap(block_bytes=128, region_bytes=64)
+
+
+@given(addr=st.integers(min_value=0, max_value=2**48))
+def test_block_region_consistency(addr):
+    amap = DEFAULT_ADDRESS_MAP
+    block = amap.block_of(addr)
+    assert amap.region_of(addr) == amap.region_of_block(block)
+
+
+@given(
+    region=st.integers(min_value=0, max_value=2**32),
+    offset=st.integers(min_value=0, max_value=31),
+)
+def test_compose_decompose_roundtrip(region, offset):
+    amap = DEFAULT_ADDRESS_MAP
+    block = amap.block_in_region(region, offset)
+    assert amap.region_of_block(block) == region
+    assert amap.offset_in_region(block) == offset
+
+
+@given(block=st.integers(min_value=0, max_value=2**40))
+def test_byte_of_block_inverts_block_of(block):
+    amap = DEFAULT_ADDRESS_MAP
+    assert amap.block_of(amap.byte_of_block(block)) == block

@@ -1,0 +1,116 @@
+"""Integration tests: every experiment harness runs end-to-end on a small
+preset and exhibits the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments import fig6, fig7, fig8, fig9, fig10, hybrid, table1
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_parser, make_config, run_one
+
+
+@pytest.fixture(scope="module")
+def config():
+    cfg = ExperimentConfig.small()
+    # em3d's iteration is ~44k accesses; temporal predictors need to see
+    # at least two full iterations before they can replay one
+    cfg.trace_length = 100_000
+    cfg.workloads = ["db2", "qry2", "em3d"]
+    return cfg
+
+
+class TestTable1:
+    def test_renders(self, config):
+        text = table1.format_table(table1.run(config))
+        assert "L1d cache" in text
+        assert "db2" in text
+
+
+class TestFig6(object):
+    def test_shapes(self, config):
+        results = fig6.run(config)
+        # DSS: spatial opportunity dominates, temporal negligible
+        assert results["qry2"].sms_only > results["qry2"].tms_only
+        # em3d: temporal-only share significant
+        assert results["em3d"].tms_only > 0.1
+        # everything sums to 1
+        for r in results.values():
+            total = r.both + r.tms_only + r.sms_only + r.neither
+            assert total == pytest.approx(1.0)
+        assert "Figure 6" in fig6.format_table(results)
+
+
+class TestFig7:
+    def test_scientific_more_repetitive_than_dss(self, config):
+        results = fig7.run(config)
+        em3d_all, em3d_trig = results["em3d"]
+        qry2_all, _ = results["qry2"]
+        assert em3d_all.opportunity > qry2_all.opportunity
+        # every breakdown is a distribution
+        for all_misses, triggers in results.values():
+            assert sum(all_misses.as_tuple()) == pytest.approx(1.0)
+            assert sum(triggers.as_tuple()) == pytest.approx(1.0)
+        assert "Figure 7" in fig7.format_table(results)
+
+
+class TestFig8:
+    def test_near_perfect_intra_generation_repetition(self, config):
+        results = fig8.run(config)
+        for name, r in results.items():
+            if r.matched_pairs:
+                assert r.cumulative_within(4) > 0.8, name
+        assert "Figure 8" in fig8.format_table(results)
+
+
+class TestFig9:
+    def test_paper_shape(self, config):
+        results = fig9.run(config)
+        db2 = {r.predictor: r for r in results["db2"]}
+        qry2 = {r.predictor: r for r in results["qry2"]}
+        em3d = {r.predictor: r for r in results["em3d"]}
+        # OLTP: STeMS at least matches the best underlying predictor
+        best = max(db2["tms"].covered, db2["sms"].covered)
+        assert db2["stems"].covered >= best - 0.05
+        # DSS: TMS ineffective, STeMS ~ SMS
+        assert qry2["tms"].covered < 0.2
+        assert qry2["stems"].covered > 0.8 * qry2["sms"].covered
+        # scientific: temporal dominates spatial on em3d
+        assert em3d["tms"].covered > em3d["sms"].covered
+        assert "Figure 9" in fig9.format_table(results)
+
+
+class TestFig10:
+    def test_paper_shape(self, config):
+        results = fig10.run(config)
+        db2 = {r.predictor: r for r in results["db2"]}
+        # SMS yields little OLTP speedup despite coverage (§5.6)
+        assert db2["stems"].improvement > db2["sms"].improvement
+        for rows in results.values():
+            for r in rows:
+                assert r.speedup > 0
+        assert "Figure 10" in fig10.format_table(results)
+
+
+class TestHybrid:
+    def test_hybrid_overpredicts_more_than_stems(self, config):
+        rows = hybrid.run(config)
+        assert rows, "db2 is in the workload list"
+        for r in rows:
+            assert r.hybrid_overpredictions >= r.stems_overpredictions * 0.8
+        assert "hybrid" in hybrid.format_table(rows)
+
+
+class TestRunnerCLI:
+    def test_parser_accepts_experiments(self):
+        args = build_parser().parse_args(["fig6", "--small", "--workloads", "db2"])
+        config = make_config(args)
+        assert config.workloads == ["db2"]
+        assert config.trace_length == ExperimentConfig.small().trace_length
+
+    def test_run_one_table1(self):
+        args = build_parser().parse_args(["table1", "--small"])
+        out = run_one("table1", make_config(args))
+        assert "Table 1" in out
+
+    def test_length_override(self):
+        args = build_parser().parse_args(["fig6", "--length", "1234"])
+        assert make_config(args).trace_length == 1234

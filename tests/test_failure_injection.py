@@ -1,0 +1,153 @@
+"""Failure-injection and degenerate-configuration tests.
+
+The predictors must degrade gracefully — never crash, never mis-account —
+when their structures are starved (single stream queue, one-entry AGT,
+minimal reconstruction buffer, wrapped RMOB) or when the input is
+adversarial (pure writes, a single hot block, alternating thrash).
+"""
+
+import random
+
+import pytest
+
+from repro.common.addresses import DEFAULT_ADDRESS_MAP
+from repro.common.config import (
+    CacheConfig,
+    SMSConfig,
+    STeMSConfig,
+    SystemConfig,
+    TMSConfig,
+)
+from repro.prefetch.hybrid import NaiveHybridPrefetcher
+from repro.prefetch.sms.sms import SMSPrefetcher
+from repro.prefetch.stems.stems import STeMSPrefetcher
+from repro.prefetch.tms.tms import TMSPrefetcher
+from repro.sim.driver import SimulationDriver
+from repro.trace.container import Trace
+
+AMAP = DEFAULT_ADDRESS_MAP
+
+
+def run(prefetcher, trace, system=None):
+    return SimulationDriver(system or SystemConfig.tiny(), prefetcher).run(trace)
+
+
+def repeating_chain_trace(n_blocks=200, repeats=4, seed=3):
+    rng = random.Random(seed)
+    blocks = rng.sample(range(100000, 900000), n_blocks)
+    trace = Trace("chain")
+    for _ in range(repeats):
+        for b in blocks:
+            trace.append(pc=0x9, address=b * 64)
+    return trace
+
+
+def paged_trace(pages=150, repeats=2, offsets=(0, 3, 7, 11)):
+    trace = Trace("paged")
+    for _ in range(repeats):
+        for page in range(pages):
+            for step, off in enumerate(offsets):
+                trace.append(pc=0x100 + step * 4,
+                             address=AMAP.block_in_region(3000 + page, off) * 64)
+    return trace
+
+
+class TestStarvedSTeMS:
+    def test_single_stream_queue(self):
+        config = STeMSConfig(stream_queues=1)
+        result = run(STeMSPrefetcher(config), paged_trace())
+        assert result.covered > 0  # degraded, not dead
+
+    def test_one_entry_agt(self):
+        config = STeMSConfig(agt_entries=1)
+        result = run(STeMSPrefetcher(config), paged_trace())
+        assert result.reads == result.covered + result.uncovered + \
+            result.l1_hits + result.l2_hits
+
+    def test_tiny_reconstruction_buffer(self):
+        config = STeMSConfig(reconstruction_entries=4, reconstruction_batch=2)
+        result = run(STeMSPrefetcher(config), repeating_chain_trace())
+        assert result.accesses == 800
+
+    def test_tiny_rmob_wraps(self):
+        config = STeMSConfig(rmob_entries=32)
+        result = run(STeMSPrefetcher(config), repeating_chain_trace())
+        # 200-miss loop outruns a 32-entry RMOB: almost nothing coverable
+        assert result.coverage < 0.2
+
+    def test_zero_initial_fetch_recovers_via_resync(self):
+        config = STeMSConfig(initial_fetch=0)
+        result = run(STeMSPrefetcher(config), paged_trace())
+        # nothing is fetched at allocation, but the first demand miss that
+        # lands in a stream's pending window re-syncs it into action
+        assert result.accesses == 1200
+        assert result.covered > 0
+
+    def test_pst_single_entry(self):
+        config = STeMSConfig(pst_entries=1)
+        result = run(STeMSPrefetcher(config), paged_trace())
+        assert result.accesses > 0
+
+
+class TestStarvedTMS:
+    def test_tiny_cmob(self):
+        result = run(TMSPrefetcher(TMSConfig(cmob_entries=16)),
+                     repeating_chain_trace())
+        assert result.coverage < 0.2
+
+    def test_single_queue_thrash(self):
+        result = run(TMSPrefetcher(TMSConfig(stream_queues=1)),
+                     repeating_chain_trace())
+        assert result.accesses == 800
+
+
+class TestAdversarialInputs:
+    def test_pure_write_trace(self):
+        trace = Trace("writes")
+        for i in range(500):
+            trace.append(pc=0x1, address=i * 64, is_write=True)
+        for prefetcher in (TMSPrefetcher(), SMSPrefetcher(),
+                           STeMSPrefetcher(), NaiveHybridPrefetcher()):
+            result = run(prefetcher, trace)
+            assert result.covered == 0
+            assert result.uncovered == 0  # writes are not read misses
+
+    def test_single_hot_block(self):
+        trace = Trace("hot")
+        for i in range(1000):
+            trace.append(pc=0x1, address=4096)
+        result = run(STeMSPrefetcher(), trace)
+        assert result.uncovered == 1  # the compulsory miss only
+        assert result.l1_hits == 999
+
+    def test_cache_thrash_alternation(self):
+        """Two blocks aliasing to one direct-mapped set: constant misses."""
+        system = SystemConfig(
+            l1=CacheConfig(size_bytes=64, associativity=1),
+            l2=CacheConfig(size_bytes=128, associativity=1),
+        )
+        trace = Trace("thrash")
+        for i in range(400):
+            trace.append(pc=0x1, address=(i % 2) * 128 * 64)
+        result = run(STeMSPrefetcher(), trace, system=system)
+        assert result.accesses == 400
+
+    def test_svb_one_entry(self):
+        system = SystemConfig(
+            l1=CacheConfig(size_bytes=4096, associativity=2),
+            l2=CacheConfig(size_bytes=32768, associativity=4),
+            svb_entries=1,
+        )
+        result = run(STeMSPrefetcher(), paged_trace(), system=system)
+        # a 1-entry SVB evicts nearly everything before use
+        assert result.overpredictions >= 0
+        assert result.accesses > 0
+
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    def test_minuscule_traces(self, length):
+        trace = Trace("tiny")
+        for i in range(length):
+            trace.append(pc=0x1, address=i * 64)
+        for prefetcher in (TMSPrefetcher(), SMSPrefetcher(), STeMSPrefetcher()):
+            result = run(prefetcher, trace)
+            assert result.accesses == length

@@ -1,0 +1,105 @@
+"""Unit and property tests for Sequitur and the repetition classifier."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.repetition import classify_repetition
+from repro.analysis.sequitur import Sequitur
+
+
+class TestKnownGrammars:
+    def test_abcabc(self):
+        g = Sequitur.build(list("abcabc"))
+        assert g.expand() == list("abcabc")
+        assert g.rule_count() == 1  # S -> R R, R -> a b c
+
+    def test_no_repetition(self):
+        g = Sequitur.build(list("abcdef"))
+        assert g.rule_count() == 0
+        assert g.expand() == list("abcdef")
+
+    def test_nested_repetition(self):
+        seq = list("abcdbcabcdbc")
+        g = Sequitur.build(seq)
+        assert g.expand() == seq
+        assert g.rule_count() >= 2  # bc reused inside abcdbc
+
+    def test_triples(self):
+        for s in ("aaa", "aaaa", "aaaaa", "aaaaaaaa", "abbbabcbb"):
+            g = Sequitur.build(list(s))
+            assert g.expand() == list(s), s
+
+    def test_single_symbol(self):
+        g = Sequitur.build(["x"])
+        assert g.expand() == ["x"]
+
+    def test_empty(self):
+        g = Sequitur.build([])
+        assert g.expand() == []
+
+    def test_integers_as_terminals(self):
+        seq = [10, 20, 30, 10, 20, 30]
+        g = Sequitur.build(seq)
+        assert g.expand() == seq
+
+
+@settings(deadline=None, max_examples=150)
+@given(
+    seq=st.lists(st.integers(min_value=0, max_value=5), max_size=300),
+)
+def test_expansion_recovers_input(seq):
+    g = Sequitur.build(seq)
+    assert g.expand() == seq
+
+
+@settings(deadline=None, max_examples=150)
+@given(
+    seq=st.lists(st.integers(min_value=0, max_value=3), max_size=250),
+)
+def test_rule_utility_invariant(seq):
+    g = Sequitur.build(seq)
+    assert g.rule_utilities_ok()
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    unit=st.lists(st.integers(min_value=0, max_value=9), min_size=2, max_size=10),
+    repeats=st.integers(min_value=2, max_value=12),
+)
+def test_repeated_sequences_compress(unit, repeats):
+    """A sequence repeated many times must form at least one rule."""
+    g = Sequitur.build(unit * repeats)
+    assert g.rule_count() >= 1
+
+
+class TestRepetitionClassifier:
+    def test_pure_repetition_has_high_opportunity(self):
+        b = classify_repetition([1, 2, 3, 4] * 20)
+        assert b.opportunity > 0.6
+        assert b.non_repetitive == 0.0
+
+    def test_random_unique_sequence_non_repetitive(self):
+        b = classify_repetition(list(range(100)))
+        assert b.non_repetitive == 1.0
+
+    def test_categories_sum_to_one(self):
+        rng = random.Random(3)
+        seq = [rng.randrange(8) for _ in range(500)]
+        b = classify_repetition(seq)
+        assert abs(sum(b.as_tuple()) - 1.0) < 1e-9
+
+    def test_empty_sequence(self):
+        b = classify_repetition([])
+        assert b.total == 0
+
+    def test_first_occurrence_counted_as_new(self):
+        b = classify_repetition([1, 2, 3, 1, 2, 3])
+        assert b.new > 0
+        assert b.head > 0
+
+    def test_more_repeats_raise_opportunity(self):
+        few = classify_repetition([1, 2, 3] * 3)
+        many = classify_repetition([1, 2, 3] * 30)
+        assert many.opportunity > few.opportunity

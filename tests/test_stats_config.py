@@ -1,0 +1,96 @@
+"""Tests for StatGroup and the configuration dataclasses."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    SMSConfig,
+    STeMSConfig,
+    SystemConfig,
+    TMSConfig,
+)
+from repro.common.stats import StatGroup
+
+
+class TestStatGroup:
+    def test_add_and_get(self):
+        s = StatGroup("x")
+        s.add("hits")
+        s.add("hits", 2)
+        assert s.get("hits") == 3
+        assert s["hits"] == 3
+        assert s.get("absent") == 0
+
+    def test_ratio(self):
+        s = StatGroup()
+        s.add("covered", 30)
+        s.add("misses", 120)
+        assert s.ratio("covered", "misses") == pytest.approx(0.25)
+        assert s.ratio("covered", "nonexistent") == 0.0
+
+    def test_children_and_merge(self):
+        a = StatGroup("a")
+        a.child("sub").add("n", 1)
+        b = StatGroup("b")
+        b.child("sub").add("n", 2)
+        b.add("top", 5)
+        a.merge(b)
+        assert a.child("sub").get("n") == 3
+        assert a.get("top") == 5
+
+    def test_to_dict(self):
+        s = StatGroup()
+        s.add("x", 1)
+        s.child("c").add("y", 2)
+        d = s.to_dict()
+        assert d["x"] == 1
+        assert d["c"]["y"] == 2
+
+    def test_format_renders_integers(self):
+        s = StatGroup("g")
+        s.add("n", 2)
+        assert "n: 2" in s.format()
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        c = CacheConfig(size_bytes=64 * 1024, associativity=2)
+        assert c.num_blocks == 1024
+        assert c.num_sets == 512
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3)
+
+
+class TestSystemPresets:
+    def test_paper_matches_table1(self):
+        system = SystemConfig.paper()
+        assert system.l1.size_bytes == 64 * 1024
+        assert system.l1.associativity == 2
+        assert system.l2.size_bytes == 8 * 1024 * 1024
+        assert system.l2.associativity == 8
+        assert system.svb_entries == 64
+
+    def test_scaled_preserves_ratio_direction(self):
+        system = SystemConfig.scaled()
+        assert system.l2.size_bytes // system.l1.size_bytes == 32
+
+    def test_tiny_is_small(self):
+        assert SystemConfig.tiny().l1.size_bytes < SystemConfig.scaled().l1.size_bytes
+
+
+class TestPredictorConfigs:
+    def test_tms_paper_preset(self):
+        assert TMSConfig.paper().cmob_entries == 384 * 1024
+
+    def test_stems_paper_preset(self):
+        assert STeMSConfig.paper().rmob_entries == 128 * 1024
+
+    def test_stems_scientific_lookahead(self):
+        assert STeMSConfig.scientific().lookahead == 12
+        assert STeMSConfig().lookahead == 8
+
+    def test_counter_max(self):
+        assert SMSConfig(counter_bits=2).counter_max == 3
+        assert STeMSConfig(counter_bits=3).counter_max == 7

@@ -1,0 +1,94 @@
+"""Tests for the shared stream-queue machinery."""
+
+from repro.prefetch.streamqueue import StreamQueue, StreamQueueSet
+
+
+class TestStreamQueue:
+    def test_next_blocks_drains_pending(self):
+        q = StreamQueue(0, [1, 2, 3])
+        assert q.next_blocks(2) == [1, 2]
+        assert q.next_blocks(2) == [3]
+        assert q.next_blocks(1) == []
+        assert q.inflight == 3
+
+    def test_refill_called_when_empty(self):
+        batches = [[4, 5], []]
+        q = StreamQueue(0, [1], refill=lambda queue: batches.pop(0))
+        assert q.next_blocks(3) == [1, 4, 5]
+        assert q.next_blocks(1) == []
+        assert q.exhausted
+
+    def test_pending_position_window(self):
+        q = StreamQueue(0, [10, 20, 30, 40])
+        assert q.pending_position(20, window=4) == 1
+        assert q.pending_position(40, window=2) is None
+        assert q.pending_position(99, window=4) is None
+
+    def test_advance_past(self):
+        q = StreamQueue(0, [10, 20, 30, 40])
+        assert q.advance_past(20, window=4) == 2
+        assert list(q.pending) == [30, 40]
+        assert q.advance_past(99, window=4) == 0
+
+
+class TestStreamQueueSet:
+    def test_allocate_initial_fetch(self):
+        qs = StreamQueueSet(2, lookahead=4, initial_fetch=2)
+        queue, initial = qs.allocate([1, 2, 3])
+        assert initial == [1, 2]
+        assert qs.get(queue.stream_id) is queue
+
+    def test_lru_victim_on_overflow(self):
+        qs = StreamQueueSet(2, lookahead=4)
+        q1, _ = qs.allocate([1])
+        q2, _ = qs.allocate([2])
+        q3, _ = qs.allocate([3])
+        assert qs.get(q1.stream_id) is None
+        assert qs.killed == 1
+
+    def test_consumption_touches_activity(self):
+        qs = StreamQueueSet(2, lookahead=4)
+        q1, _ = qs.allocate([1, 10, 11, 12])
+        q2, _ = qs.allocate([2])
+        qs.on_consumed(q1.stream_id)  # q1 becomes MRU
+        q3, _ = qs.allocate([3])      # victim should be q2
+        assert qs.get(q1.stream_id) is not None
+        assert qs.get(q2.stream_id) is None
+
+    def test_on_consumed_respects_lookahead(self):
+        qs = StreamQueueSet(1, lookahead=3, initial_fetch=1)
+        queue, initial = qs.allocate(list(range(100)))
+        assert len(initial) == 1
+        fetched = qs.on_consumed(queue.stream_id)
+        # 1 in flight was consumed: extend back up to the lookahead
+        assert len(fetched) == 3
+        assert queue.inflight == 3
+
+    def test_on_consumed_unknown_stream(self):
+        qs = StreamQueueSet(1, lookahead=3)
+        assert qs.on_consumed(12345) == []
+
+    def test_retire_if_exhausted(self):
+        qs = StreamQueueSet(2, lookahead=4, initial_fetch=4)
+        queue, initial = qs.allocate([1, 2])
+        assert not qs.retire_if_exhausted(queue.stream_id)  # blocks in flight
+        queue.inflight = 0
+        queue.exhausted = True
+        assert qs.retire_if_exhausted(queue.stream_id)
+        assert qs.get(queue.stream_id) is None
+
+    def test_find_pending_skips_saturated_streams(self):
+        qs = StreamQueueSet(2, lookahead=2, initial_fetch=1)
+        queue, _ = qs.allocate([1, 2, 3])
+        queue.inflight = 2  # saturated: at lookahead
+        assert qs.find_pending(2) is None
+        queue.inflight = 1
+        assert qs.find_pending(2) is queue
+
+    def test_resync_skips_and_extends(self):
+        qs = StreamQueueSet(2, lookahead=3, initial_fetch=1)
+        queue, _ = qs.allocate([1, 2, 3, 4, 5, 6])
+        queue.inflight = 0
+        fetched = qs.resync(queue.stream_id, 2)
+        # skipped 1 and 2; extended by lookahead: 3, 4, 5
+        assert fetched == [3, 4, 5]

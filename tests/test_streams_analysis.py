@@ -1,0 +1,68 @@
+"""Tests for the temporal stream-length analysis."""
+
+import pytest
+
+from repro.analysis.streams import (
+    stream_length_analysis,
+    stream_lengths_of_sequence,
+)
+from repro.common.config import SystemConfig
+from repro.trace.container import Trace
+
+
+class TestSequenceMatching:
+    def test_exact_repetition_forms_one_long_stream(self):
+        misses = [1, 2, 3, 4, 5] * 4
+        result = stream_lengths_of_sequence(misses)
+        # one stream: everything after the locating head (pos 5) matches
+        assert result.total_streams == 1
+        assert result.covered_misses == 14
+
+    def test_no_repetition_no_streams(self):
+        result = stream_lengths_of_sequence(list(range(50)))
+        assert result.total_streams == 0
+        assert result.mean_length() == 0.0
+
+    def test_glitch_tolerated_within_lookahead(self):
+        # second pass inserts one foreign miss: the stream rides it out
+        # (head 1, then matches 2, 3, 4 across the 99 glitch)
+        misses = [1, 2, 3, 4] + [1, 2, 99, 3, 4]
+        result = stream_lengths_of_sequence(misses, lookahead=4)
+        assert result.total_streams == 1
+        assert max(result.lengths) == 3
+
+    def test_deletion_beyond_lookahead_relocates(self):
+        first = list(range(100, 130))
+        second = [100] + list(range(120, 130))  # 19 entries skipped
+        result = stream_lengths_of_sequence(first + second, lookahead=4)
+        # the jump defeats the first stream (zero matches), but a new
+        # stream relocates inside the skipped-to region and runs to the end
+        assert result.total_streams == 1
+        assert max(result.lengths) >= 6
+
+    def test_fraction_helpers(self):
+        misses = [1, 2, 3] * 10
+        result = stream_lengths_of_sequence(misses)
+        assert 0.0 <= result.fraction_of_misses_in_streams_of_at_least(5) <= 1.0
+        assert result.fraction_of_misses_in_streams_of_at_least(1) == 1.0
+        assert "streams=" in result.format()
+
+    def test_empty_sequence(self):
+        result = stream_lengths_of_sequence([])
+        assert result.total_streams == 0
+
+
+class TestTraceLevel:
+    def test_repetitive_trace_yields_long_streams(self):
+        import random
+        rng = random.Random(5)
+        blocks = rng.sample(range(100000, 900000), 300)
+        trace = Trace("rep")
+        for _ in range(4):
+            for b in blocks:
+                trace.append(pc=0x1, address=b * 64)
+        result = stream_length_analysis(trace, SystemConfig.tiny())
+        assert result.workload == "rep"
+        assert result.mean_length() > 20
+        # most streamed misses live in long streams (the §2.1 claim)
+        assert result.fraction_of_misses_in_streams_of_at_least(10) > 0.8

@@ -1,0 +1,73 @@
+"""Tests for the baseline stride prefetcher."""
+
+from repro.common.config import StrideConfig
+from repro.memsys.hierarchy import ServiceLevel
+from repro.prefetch.base import AccessEvent
+from repro.prefetch.stride import StridePrefetcher
+from repro.trace.events import MemoryAccess
+
+
+def feed(pf, pc, blocks):
+    for i, block in enumerate(blocks):
+        access = MemoryAccess(index=i, pc=pc, address=block * 64)
+        pf.on_access(AccessEvent(access=access, block=block,
+                                 level=ServiceLevel.MEMORY))
+    return pf.pop_requests()
+
+
+class TestStride:
+    def test_detects_unit_stride(self):
+        pf = StridePrefetcher(StrideConfig(degree=2))
+        requests = feed(pf, 0x10, [100, 101, 102])
+        blocks = [r.block for r in requests]
+        assert 103 in blocks and 104 in blocks
+
+    def test_detects_negative_stride(self):
+        pf = StridePrefetcher(StrideConfig(degree=1))
+        requests = feed(pf, 0x10, [100, 97, 94])
+        assert [r.block for r in requests] == [91]
+
+    def test_requires_confidence(self):
+        pf = StridePrefetcher(StrideConfig(degree=1, confidence_threshold=2))
+        assert feed(pf, 0x10, [100, 105]) == []  # one stride seen: no fetch
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher(StrideConfig(degree=1))
+        feed(pf, 0x10, [100, 101, 102])
+        pf.pop_requests()
+        # change stride: confidence resets, no prediction on first new stride
+        access = MemoryAccess(index=9, pc=0x10, address=200 * 64)
+        pf.on_access(AccessEvent(access=access, block=200,
+                                 level=ServiceLevel.MEMORY))
+        assert pf.pop_requests() == []
+
+    def test_per_pc_isolation(self):
+        pf = StridePrefetcher(StrideConfig(degree=1))
+        for i, (pc, block) in enumerate(
+            [(1, 10), (2, 500), (1, 11), (2, 510), (1, 12), (2, 520)]
+        ):
+            access = MemoryAccess(index=i, pc=pc, address=block * 64)
+            pf.on_access(AccessEvent(access=access, block=block,
+                                     level=ServiceLevel.MEMORY))
+        blocks = {r.block for r in pf.pop_requests()}
+        assert 13 in blocks and 530 in blocks
+
+    def test_zero_stride_ignored(self):
+        pf = StridePrefetcher(StrideConfig(degree=1))
+        assert feed(pf, 0x10, [100, 100, 100, 100]) == []
+
+    def test_table_capacity(self):
+        pf = StridePrefetcher(StrideConfig(table_entries=2, degree=1))
+        # train pc 1, then displace it with pcs 2 and 3
+        feed(pf, 1, [10, 11])
+        feed(pf, 2, [100])
+        feed(pf, 3, [200])
+        pf.pop_requests()
+        # pc 1 entry evicted: next access re-allocates, no stride memory
+        access = MemoryAccess(index=50, pc=1, address=12 * 64)
+        pf.on_access(AccessEvent(access=access, block=12,
+                                 level=ServiceLevel.MEMORY))
+        assert pf.pop_requests() == []
+
+    def test_install_target_is_l1(self):
+        assert StridePrefetcher().install_target == "l1"

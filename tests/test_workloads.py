@@ -1,0 +1,172 @@
+"""Tests for the synthetic workload suite: determinism and the structural
+properties each generator must exhibit (they are the substitution for the
+paper's applications, so the structure *is* the spec)."""
+
+import pytest
+
+from repro.common.addresses import DEFAULT_ADDRESS_MAP
+from repro.trace.tracestats import summarize_trace
+from repro.workloads.base import ComposedWorkload
+from repro.workloads.components import (
+    ChainTraversalComponent,
+    GatherComponent,
+    GraphTraversalComponent,
+    GridSweepComponent,
+    NoiseComponent,
+    ScanComponent,
+)
+from repro.workloads.registry import (
+    WORKLOAD_CATEGORIES,
+    WORKLOAD_NAMES,
+    make_workload,
+)
+
+
+class TestRegistry:
+    def test_all_ten_workloads_present(self):
+        assert len(WORKLOAD_NAMES) == 10
+        for name in WORKLOAD_NAMES:
+            assert name in WORKLOAD_CATEGORIES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("nosuch")
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_generation_deterministic(self, name):
+        a = make_workload(name).generate(3000, seed=11)
+        b = make_workload(name).generate(3000, seed=11)
+        assert [x.address for x in a] == [x.address for x in b]
+        assert [x.pc for x in a] == [x.pc for x in b]
+        assert [x.depends_on for x in a] == [x.depends_on for x in b]
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_seeds_differ(self, name):
+        a = make_workload(name).generate(3000, seed=1)
+        b = make_workload(name).generate(3000, seed=2)
+        assert [x.address for x in a] != [x.address for x in b]
+
+    def test_requested_length_met(self):
+        trace = make_workload("db2").generate(5000, seed=0)
+        assert len(trace) >= 5000
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            make_workload("db2").generate(0)
+
+
+class TestStructure:
+    def test_oltp_has_pointer_chases(self):
+        stats = summarize_trace(make_workload("db2").generate(20000, seed=3))
+        assert stats.dependent_fraction > 0.02
+
+    def test_dss_is_scan_dominated(self):
+        trace = make_workload("qry17").generate(20000, seed=3)
+        stats = summarize_trace(trace)
+        # fresh pages: footprint grows with the trace
+        assert stats.unique_regions > 700
+
+    def test_em3d_sequence_repeats_across_iterations(self):
+        trace = make_workload("em3d").generate(120000, seed=3)
+        graph_addrs = [
+            a.address for a in trace if a.pc in (0x60000, 0x60004, 0x60008)
+        ]
+        third = len(graph_addrs) // 3
+        # iteration length is ~42k graph accesses; the first and second
+        # windows of one iteration length must be identical
+        period = 14000 * 3
+        assert graph_addrs[:period] == graph_addrs[period:2 * period]
+
+    def test_sparse_row_parity_changes_interleave(self):
+        trace = make_workload("sparse").generate(3000, seed=3)
+        # odd rows interleave value loads between gathers: both the
+        # front-loaded and spread patterns must appear
+        pcs = [a.pc for a in trace if a.pc in (0x80004, 0x80008, 0x8000C)]
+        assert pcs, "sparse trace must contain value/gather accesses"
+
+    def test_categories(self):
+        assert WORKLOAD_CATEGORIES["db2"] == "oltp"
+        assert WORKLOAD_CATEGORIES["qry16"] == "dss"
+        assert WORKLOAD_CATEGORIES["em3d"] == "scientific"
+        assert WORKLOAD_CATEGORIES["apache"] == "web"
+
+
+class TestComponents:
+    def test_chain_private_patterns_fixed_per_page(self):
+        comp = ChainTraversalComponent(
+            "c", 0x100, 1 << 34, setup_seed=5, num_chains=1,
+            pages_per_chain=4, layout_mode="private", mutation_rate=0.0,
+            unstable_access_prob=0.0,
+        )
+        w = ComposedWorkload("t", "test", [(comp, 1.0)])
+        trace = w.generate(600, seed=8)
+        amap = DEFAULT_ADDRESS_MAP
+        per_page = {}
+        stable = True
+        seen = {}
+        for a in trace:
+            region = amap.region_of(a.address)
+            offset = amap.offset_in_region(amap.block_of(a.address))
+            seen.setdefault(region, set()).add(offset)
+        # each page's offset set must be small and fixed (5 data + header)
+        for region, offsets in seen.items():
+            assert len(offsets) <= 7
+
+    def test_scan_never_revisits_pages(self):
+        comp = ScanComponent("s", 0x200, 1 << 34, setup_seed=5,
+                             block_presence=1.0)
+        w = ComposedWorkload("t", "test", [(comp, 1.0)])
+        trace = w.generate(2000, seed=8)
+        amap = DEFAULT_ADDRESS_MAP
+        first_seen = {}
+        for i, a in enumerate(trace):
+            region = amap.region_of(a.address)
+            if region in first_seen:
+                # revisits only within the same page burst (14-16 accesses)
+                assert i - first_seen[region] < 40
+            else:
+                first_seen[region] = i
+
+    def test_noise_blocks_rarely_repeat(self):
+        comp = NoiseComponent("n", 0x300, 1 << 34)
+        w = ComposedWorkload("t", "test", [(comp, 1.0)])
+        trace = w.generate(4000, seed=8)
+        blocks = [a.address >> 6 for a in trace]
+        assert len(set(blocks)) > 0.99 * len(blocks)
+
+    def test_graph_neighbors_depend_on_node(self):
+        comp = GraphTraversalComponent("g", 0x400, 1 << 34, setup_seed=5,
+                                       num_nodes=100)
+        w = ComposedWorkload("t", "test", [(comp, 1.0)])
+        trace = w.generate(300, seed=8)
+        deps = [a for a in trace if a.depends_on is not None]
+        assert len(deps) >= len(trace) // 2  # degree 2 of 3 accesses
+
+    def test_grid_covers_all_offsets(self):
+        comp = GridSweepComponent("gr", 0x500, 1 << 34, num_arrays=1,
+                                  blocks_per_array=64, phases=1)
+        w = ComposedWorkload("t", "test", [(comp, 1.0)])
+        trace = w.generate(64, seed=8)
+        amap = DEFAULT_ADDRESS_MAP
+        offsets = {amap.offset_in_region(amap.block_of(a.address)) for a in trace}
+        assert offsets == set(range(32))
+
+    def test_gather_targets_fixed_across_iterations(self):
+        comp = GatherComponent("sp", 0x600, 1 << 34, setup_seed=5,
+                               num_rows=8, nnz_per_row=4, x_blocks=64)
+        w = ComposedWorkload("t", "test", [(comp, 1.0)])
+        trace = w.generate(300, seed=8)
+        gathers = [a.address for a in trace if a.pc in (0x608, 0x60C)]
+        period = 8 * 4  # rows * nnz
+        assert gathers[:period] == gathers[period:2 * period]
+
+    def test_invalid_layout_mode(self):
+        with pytest.raises(ValueError):
+            ChainTraversalComponent("c", 0, 0, 0, layout_mode="bogus")
+
+    def test_composition_validates_weights(self):
+        comp = NoiseComponent("n", 0x300, 1 << 34)
+        with pytest.raises(ValueError):
+            ComposedWorkload("t", "test", [])
+        with pytest.raises(ValueError):
+            ComposedWorkload("t", "test", [(comp, 0.0)])
