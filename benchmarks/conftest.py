@@ -5,12 +5,18 @@ small preset and prints the resulting rows, so ``pytest benchmarks/
 --benchmark-only`` doubles as a quick reproduction run. Ablation benches
 cover the design choices DESIGN.md calls out (placement window, counter
 vs bit-vector history, stream lookahead).
+
+Figure benchmarks run through a shared serial :class:`Engine` (no disk
+cache, so every round re-simulates and timings stay honest); traces are
+reused across benchmarks via the engine layer's per-process memo exactly
+as they are in a real ``all`` invocation.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.engine import Engine
 from repro.experiments.config import ExperimentConfig
 
 
@@ -28,3 +34,9 @@ def quick_config() -> ExperimentConfig:
     cfg = ExperimentConfig.small()
     cfg.workloads = ["db2", "qry2"]
     return cfg
+
+
+@pytest.fixture(scope="session")
+def engine() -> Engine:
+    """Serial, uncached engine shared by the figure benchmarks."""
+    return Engine(jobs=1, cache_dir=None)

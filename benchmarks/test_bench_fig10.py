@@ -3,8 +3,10 @@
 from repro.experiments import fig10
 
 
-def test_fig10(benchmark, config):
-    results = benchmark.pedantic(fig10.run, args=(config,), rounds=1, iterations=1)
+def test_fig10(benchmark, config, engine):
+    results = benchmark.pedantic(
+        fig10.run, args=(config,), kwargs={"engine": engine}, rounds=1, iterations=1
+    )
     print()
     print(fig10.format_table(results))
     for rows in results.values():

@@ -3,8 +3,10 @@
 from repro.experiments import fig6
 
 
-def test_fig6(benchmark, config):
-    results = benchmark.pedantic(fig6.run, args=(config,), rounds=1, iterations=1)
+def test_fig6(benchmark, config, engine):
+    results = benchmark.pedantic(
+        fig6.run, args=(config,), kwargs={"engine": engine}, rounds=1, iterations=1
+    )
     print()
     print(fig6.format_table(results))
     assert set(results) == set(config.workloads)

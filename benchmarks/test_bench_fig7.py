@@ -3,8 +3,10 @@
 from repro.experiments import fig7
 
 
-def test_fig7(benchmark, config):
-    results = benchmark.pedantic(fig7.run, args=(config,), rounds=1, iterations=1)
+def test_fig7(benchmark, config, engine):
+    results = benchmark.pedantic(
+        fig7.run, args=(config,), kwargs={"engine": engine}, rounds=1, iterations=1
+    )
     print()
     print(fig7.format_table(results))
     for all_misses, triggers in results.values():

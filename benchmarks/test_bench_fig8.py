@@ -3,8 +3,10 @@
 from repro.experiments import fig8
 
 
-def test_fig8(benchmark, config):
-    results = benchmark.pedantic(fig8.run, args=(config,), rounds=1, iterations=1)
+def test_fig8(benchmark, config, engine):
+    results = benchmark.pedantic(
+        fig8.run, args=(config,), kwargs={"engine": engine}, rounds=1, iterations=1
+    )
     print()
     print(fig8.format_table(results))
     for result in results.values():

@@ -3,8 +3,10 @@
 from repro.experiments import fig9
 
 
-def test_fig9(benchmark, config):
-    results = benchmark.pedantic(fig9.run, args=(config,), rounds=1, iterations=1)
+def test_fig9(benchmark, config, engine):
+    results = benchmark.pedantic(
+        fig9.run, args=(config,), kwargs={"engine": engine}, rounds=1, iterations=1
+    )
     print()
     print(fig9.format_table(results))
     for rows in results.values():

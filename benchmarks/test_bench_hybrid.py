@@ -3,8 +3,9 @@
 from repro.experiments import hybrid
 
 
-def test_hybrid(benchmark, quick_config):
+def test_hybrid(benchmark, quick_config, engine):
     rows = benchmark.pedantic(hybrid.run, args=(quick_config,),
+                              kwargs={"engine": engine},
                               rounds=1, iterations=1)
     print()
     print(hybrid.format_table(rows))

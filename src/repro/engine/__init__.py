@@ -1,0 +1,57 @@
+"""Unified simulation engine: declare jobs, execute them once, anywhere.
+
+The engine splits "what to simulate" from "how to run it" in three
+layers:
+
+* **Jobs** (:mod:`repro.engine.job`) — :class:`SimJob` describes one
+  simulation or analysis as pure data with a stable content hash;
+  :class:`PrefetcherSpec` describes the predictor declaratively.
+* **Graph** (:mod:`repro.engine.graph`) — experiments declare jobs into
+  a :class:`JobGraph`, which deduplicates identical work across figures
+  (the shared no-prefetcher baselines, for example).
+* **Execution** (:mod:`repro.engine.engine` / :mod:`repro.engine.exec`)
+  — the :class:`Engine` satisfies jobs from an on-disk result cache,
+  then runs the rest serially or over a process pool; results are
+  bit-identical across modes because every job is self-contained.
+
+Typical use::
+
+    graph = JobGraph()
+    plan = fig9.declare(config, graph)
+    results = Engine(jobs=4, cache_dir=".repro-cache").run(graph)
+    rows = fig9.collect(config, plan, results)
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.engine import Engine, EngineStats, ResultMap
+from repro.engine.exec import build_prefetcher, execute_job, materialized_trace
+from repro.engine.graph import JobGraph
+from repro.engine.job import (
+    JOB_KINDS,
+    KIND_CORRELATION,
+    KIND_COVERAGE,
+    KIND_JOINT,
+    KIND_REPETITION,
+    KIND_TIMING,
+    PrefetcherSpec,
+    SimJob,
+)
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "JobGraph",
+    "JOB_KINDS",
+    "KIND_CORRELATION",
+    "KIND_COVERAGE",
+    "KIND_JOINT",
+    "KIND_REPETITION",
+    "KIND_TIMING",
+    "PrefetcherSpec",
+    "ResultCache",
+    "ResultMap",
+    "SimJob",
+    "build_prefetcher",
+    "execute_job",
+    "materialized_trace",
+]

@@ -1,0 +1,70 @@
+"""On-disk result cache keyed by job content hash.
+
+One JSON file per job under the cache directory, written atomically,
+holding the job's canonical description (for provenance / debugging) and
+its encoded result. Because the key is the job's *content* hash, a cache
+survives across processes, figure selections and invocation order — any
+experiment that re-declares an already-simulated point gets the stored
+result back instead of a re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro import __version__ as _PACKAGE_VERSION
+from repro.engine.job import SimJob
+from repro.sim.export import decode_result, encode_result
+
+#: bumped when the result encoding changes incompatibly
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """JSON file-per-job store under ``directory``."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job: SimJob) -> Path:
+        return self.directory / f"{job.job_hash}.json"
+
+    def load(self, job: SimJob) -> Optional[Any]:
+        """The cached result for ``job``, or None on miss/corruption."""
+        path = self.path_for(job)
+        try:
+            with path.open() as handle:
+                document = json.load(handle)
+            if document.get("version") != CACHE_VERSION:
+                return None
+            # the job hash keys the *inputs*; the package version is the
+            # coarse guard against serving results simulated by older code
+            if document.get("repro") != _PACKAGE_VERSION:
+                return None
+            if document.get("kind") != job.kind:
+                return None
+            return decode_result(document["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, job: SimJob, result: Any) -> Path:
+        """Persist ``result`` for ``job`` (atomic rename)."""
+        path = self.path_for(job)
+        document = {
+            "version": CACHE_VERSION,
+            "repro": _PACKAGE_VERSION,
+            "kind": job.kind,
+            "job": job.describe(),
+            "result": encode_result(result),
+        }
+        tmp = path.with_suffix(".tmp")
+        # no default=: an unencodable value must fail loudly here, not be
+        # stringified into a cache entry that decodes to a different type
+        with tmp.open("w") as handle:
+            json.dump(document, handle)
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,112 @@
+"""The execution engine: runs a job graph serially or across processes.
+
+The engine is the single place simulations happen. It takes a
+deduplicated :class:`JobGraph`, satisfies what it can from the on-disk
+:class:`ResultCache`, executes the remainder — inline, or fanned out over
+a ``ProcessPoolExecutor`` when ``jobs > 1`` — and returns a
+:class:`ResultMap` from job (hash) to result. ``stats`` counts scheduled
+vs deduplicated vs cache-satisfied vs executed jobs so callers can
+surface exactly how much work a run performed (a fully cached invocation
+reports ``executed=0``).
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.exec import execute_job, execute_job_with_hash
+from repro.engine.graph import JobGraph
+from repro.engine.job import SimJob
+
+
+@dataclass
+class EngineStats:
+    """Work accounting for one engine (accumulated across run() calls)."""
+
+    requested: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    def format(self) -> str:
+        unique = self.requested - self.deduplicated
+        return (
+            f"engine: {self.requested} jobs requested, "
+            f"{self.deduplicated} deduplicated, {unique} unique, "
+            f"{self.cache_hits} cache hits, {self.executed} simulated"
+        )
+
+
+class ResultMap(Dict[str, Any]):
+    """Results keyed by job hash; also indexable directly by job."""
+
+    def __getitem__(self, key: Union[str, SimJob]) -> Any:
+        if isinstance(key, SimJob):
+            key = key.job_hash
+        return super().__getitem__(key)
+
+    def get(self, key: Union[str, SimJob], default: Any = None) -> Any:
+        if isinstance(key, SimJob):
+            key = key.job_hash
+        return super().get(key, default)
+
+
+class Engine:
+    """Executes job graphs with optional parallelism and disk caching."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if (cache_dir and use_cache) else None
+        )
+        self.stats = EngineStats()
+
+    def run(self, graph: JobGraph) -> ResultMap:
+        """Execute every job in ``graph``; returns hash -> result."""
+        self.stats.requested += graph.requested
+        self.stats.deduplicated += graph.deduplicated
+        results = ResultMap()
+        pending = []
+        for job in graph:
+            cached = self.cache.load(job) if self.cache else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[job.job_hash] = cached
+            else:
+                pending.append(job)
+        if pending:
+            for job, result in self._execute(pending):
+                results[job.job_hash] = result
+                self.stats.executed += 1
+                if self.cache is not None:
+                    self.cache.store(job, result)
+        return results
+
+    def _execute(self, pending: "list[SimJob]") -> Iterable["tuple[SimJob, Any]"]:
+        if self.jobs == 1 or len(pending) == 1:
+            for job in pending:
+                yield job, execute_job(job)
+            return
+        # group-by-trace scheduling: keep jobs that share a generated
+        # trace adjacent so reused pool workers hit their trace memo
+        ordered = sorted(pending, key=lambda j: (j.trace_key, j.job_hash))
+        by_hash = {job.job_hash: job for job in ordered}
+        workers = min(self.jobs, len(ordered))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for job_hash, result in pool.map(
+                execute_job_with_hash, ordered, chunksize=1
+            ):
+                yield by_hash[job_hash], result
+
+    def report(self, stream=sys.stderr) -> None:
+        print(f"[{self.stats.format()}]", file=stream)

@@ -1,0 +1,179 @@
+"""Job execution: trace materialization, predictor construction, dispatch.
+
+This module is the worker side of the engine: :func:`execute_job` takes a
+picklable :class:`SimJob` and returns a picklable result dataclass, so it
+runs identically inline (serial mode) and inside a
+``ProcessPoolExecutor`` worker (parallel mode). Results are bit-identical
+either way because every job rebuilds its trace and predictor from the
+job's seeds alone.
+
+Traces are memoized per process in a small bounded LRU keyed by
+``(workload, length, seed)``: many jobs share one trace (a figure runs
+several predictors over each workload), and pool workers are reused
+across jobs, so each process generates each trace at most once while
+holding only a handful in memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Callable, Dict, Optional
+
+from repro.analysis.correlation import correlation_distance_analysis
+from repro.analysis.joint import joint_coverage_analysis
+from repro.analysis.repetition import repetition_analysis
+from repro.common.config import SMSConfig, STeMSConfig, TMSConfig
+from repro.engine.job import (
+    CONFIGURABLE_PREFETCHER_KINDS,
+    KIND_CORRELATION,
+    KIND_COVERAGE,
+    KIND_JOINT,
+    KIND_REPETITION,
+    KIND_TIMING,
+    PrefetcherSpec,
+    SimJob,
+)
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.composite import CompositePrefetcher
+from repro.prefetch.ghb import GHBPrefetcher
+from repro.prefetch.hybrid import NaiveHybridPrefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.sms.sms import SMSPrefetcher
+from repro.prefetch.stems.stems import STeMSPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.tms.tms import TMSPrefetcher
+from repro.sim.driver import SimulationDriver
+from repro.sim.timing import simulate_timing
+from repro.trace.container import Trace
+from repro.workloads.registry import WORKLOAD_CATEGORIES, make_workload
+
+#: traces kept alive per process; the suite has 10 workloads and traces
+#: are the dominant memory term, so keep the cap modest
+_TRACE_MEMO_CAP = 16
+_TRACE_MEMO: "OrderedDict[tuple, Trace]" = OrderedDict()
+
+
+def materialized_trace(workload: str, length: int, seed: int) -> Trace:
+    """Generate (or fetch from the per-process memo) one workload trace."""
+    key = (workload, length, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = make_workload(workload).generate(length, seed=seed)
+        _TRACE_MEMO[key] = trace
+        while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(key)
+    return trace
+
+
+def clear_trace_memo() -> None:
+    _TRACE_MEMO.clear()
+
+
+def build_prefetcher(
+    spec: Optional[PrefetcherSpec], workload: str
+) -> Optional[Prefetcher]:
+    """Construct the predictor a spec describes for ``workload``.
+
+    Scientific workloads get the deeper lookahead the paper argues for in
+    §4.3; ``spec.overrides`` are applied to the main predictor's config
+    via ``dataclasses.replace`` (sensitivity sweeps).
+    """
+    if spec is None:
+        return None
+    scientific = WORKLOAD_CATEGORIES.get(workload) == "scientific"
+    overrides = dict(spec.overrides)
+    kind = spec.kind
+    main: Optional[Prefetcher]
+    if overrides and kind not in CONFIGURABLE_PREFETCHER_KINDS:
+        # PrefetcherSpec rejects this at construction; re-check here so a
+        # hand-built spec can't silently run an unconfigured predictor
+        raise ValueError(
+            f"prefetcher kind {kind!r} does not take config overrides"
+        )
+    if kind == "none":
+        return None
+    if kind == "stride":
+        return StridePrefetcher()
+    if kind == "markov":
+        main = MarkovPrefetcher()
+    elif kind == "ghb":
+        main = GHBPrefetcher()
+    elif kind == "tms":
+        base = TMSConfig(lookahead=12) if scientific else TMSConfig()
+        main = TMSPrefetcher(replace(base, **overrides))
+    elif kind == "sms":
+        main = SMSPrefetcher(replace(SMSConfig(), **overrides))
+    elif kind == "stems":
+        base = STeMSConfig.scientific() if scientific else STeMSConfig()
+        main = STeMSPrefetcher(replace(base, **overrides))
+    elif kind == "hybrid":
+        main = NaiveHybridPrefetcher(
+            TMSConfig(lookahead=12) if scientific else TMSConfig(), SMSConfig()
+        )
+    else:
+        raise ValueError(f"unknown prefetcher kind {kind!r}")
+    if spec.with_stride:
+        return CompositePrefetcher(main)
+    return main
+
+
+def _run_coverage(job: SimJob) -> Any:
+    trace = materialized_trace(job.workload, job.length, job.seed)
+    prefetcher = build_prefetcher(job.prefetcher, job.workload)
+    return SimulationDriver(job.system, prefetcher).run(trace)
+
+
+def _run_timing(job: SimJob) -> Any:
+    trace = materialized_trace(job.workload, job.length, job.seed)
+    prefetcher = build_prefetcher(job.prefetcher, job.workload)
+    run = SimulationDriver(job.system, prefetcher, record_service=True).run(trace)
+    warm = int(len(trace) * float(job.param("warmup_fraction", 0.0)))
+    name = job.prefetcher.kind if job.prefetcher else "none"
+    return simulate_timing(
+        trace,
+        run.service,
+        job.system.timing,
+        prefetcher_name=name,
+        measure_from=warm,
+    )
+
+
+def _run_joint(job: SimJob) -> Any:
+    trace = materialized_trace(job.workload, job.length, job.seed)
+    return joint_coverage_analysis(
+        trace, job.system, skip_fraction=float(job.param("skip_fraction", 0.0))
+    )
+
+
+def _run_repetition(job: SimJob) -> Any:
+    trace = materialized_trace(job.workload, job.length, job.seed)
+    return repetition_analysis(
+        trace, job.system, max_elements=int(job.param("max_elements", 60000))
+    )
+
+
+def _run_correlation(job: SimJob) -> Any:
+    trace = materialized_trace(job.workload, job.length, job.seed)
+    return correlation_distance_analysis(trace, job.system)
+
+
+_EXECUTORS: Dict[str, Callable[[SimJob], Any]] = {
+    KIND_COVERAGE: _run_coverage,
+    KIND_TIMING: _run_timing,
+    KIND_JOINT: _run_joint,
+    KIND_REPETITION: _run_repetition,
+    KIND_CORRELATION: _run_correlation,
+}
+
+
+def execute_job(job: SimJob) -> Any:
+    """Run one job to completion and return its result dataclass."""
+    return _EXECUTORS[job.kind](job)
+
+
+def execute_job_with_hash(job: SimJob) -> "tuple[str, Any]":
+    """Pool-friendly wrapper: pairs the result with the job's hash."""
+    return job.job_hash, execute_job(job)

@@ -1,0 +1,47 @@
+"""Deduplicating job graph.
+
+Experiment modules *declare* the simulations they need into a shared
+:class:`JobGraph` instead of running loops; identical jobs (same content
+hash) collapse to one node. Running ``all`` therefore simulates each
+``(workload, predictor, system)`` point exactly once even though e.g.
+fig9, hybrid, sensitivity and baselines all want the same no-prefetcher
+baseline run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.engine.job import SimJob
+
+
+class JobGraph:
+    """An insertion-ordered set of :class:`SimJob` nodes keyed by hash."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, SimJob] = {}
+        #: total add() calls, including duplicates that were collapsed
+        self.requested = 0
+
+    def add(self, job: SimJob) -> SimJob:
+        """Insert ``job``, returning the canonical (first-added) instance."""
+        self.requested += 1
+        return self._jobs.setdefault(job.job_hash, job)
+
+    @property
+    def jobs(self) -> Tuple[SimJob, ...]:
+        return tuple(self._jobs.values())
+
+    @property
+    def deduplicated(self) -> int:
+        """How many add() calls were satisfied by an existing node."""
+        return self.requested - len(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[SimJob]:
+        return iter(self._jobs.values())
+
+    def __contains__(self, job: SimJob) -> bool:
+        return job.job_hash in self._jobs

@@ -11,12 +11,13 @@ the first place, and that STeMS inherits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
-from repro.prefetch.ghb import GHBPrefetcher
-from repro.prefetch.markov import MarkovPrefetcher
-from repro.sim.driver import SimulationDriver
+
+PREDICTORS = ("stride", "markov", "ghb", "tms", "stems")
 
 
 @dataclass(frozen=True)
@@ -27,32 +28,47 @@ class BaselineRow:
     overpredictions: float
 
 
-def run(config: ExperimentConfig) -> Dict[str, List[BaselineRow]]:
-    results: Dict[str, List[BaselineRow]] = {}
+Plan = Dict[str, Dict[str, SimJob]]
+
+
+def declare(config: ExperimentConfig, graph: JobGraph) -> Plan:
+    """Per workload: the shared baseline plus one coverage run per
+    lineage predictor (tms/stems nodes are shared with fig9)."""
+    plan: Plan = {}
     for name in config.workloads:
-        trace = config.trace(name)
-        baseline = SimulationDriver(config.system, None).run(trace)
-        base_misses = max(1, baseline.uncovered)
-        rows: List[BaselineRow] = []
-        prefetchers = [
-            ("stride", config.make_prefetcher("stride", name)),
-            ("markov", MarkovPrefetcher()),
-            ("ghb", GHBPrefetcher()),
-            ("tms", config.make_prefetcher("tms", name)),
-            ("stems", config.make_prefetcher("stems", name)),
-        ]
-        for label, prefetcher in prefetchers:
-            result = SimulationDriver(config.system, prefetcher).run(trace)
-            rows.append(
-                BaselineRow(
-                    workload=name,
-                    predictor=label,
-                    coverage=result.covered / base_misses,
-                    overpredictions=result.overpredictions / base_misses,
-                )
+        jobs = {"baseline": graph.add(config.coverage_job(name))}
+        for kind in PREDICTORS:
+            jobs[kind] = graph.add(config.coverage_job(name, kind))
+        plan[name] = jobs
+    return plan
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> Dict[str, List[BaselineRow]]:
+    out: Dict[str, List[BaselineRow]] = {}
+    for name, jobs in plan.items():
+        base_misses = max(1, results[jobs["baseline"]].uncovered)
+        out[name] = [
+            BaselineRow(
+                workload=name,
+                predictor=kind,
+                coverage=results[jobs[kind]].covered / base_misses,
+                overpredictions=results[jobs[kind]].overpredictions / base_misses,
             )
-        results[name] = rows
-    return results
+            for kind in PREDICTORS
+        ]
+    return out
+
+
+def run(
+    config: ExperimentConfig, engine: Optional[Engine] = None
+) -> Dict[str, List[BaselineRow]]:
+    return harness.execute(declare, collect, config, engine)
+
+
+def export_rows(results: Dict[str, List[BaselineRow]]) -> List[BaselineRow]:
+    return harness.flatten_rows(results)
 
 
 def format_table(results: Dict[str, List[BaselineRow]]) -> str:

@@ -13,13 +13,13 @@ despite high coverage; TMS accelerates em3d/sparse by ~4x.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
-from repro.sim.driver import SimulationDriver
-from repro.sim.timing import simulate_timing
 
-PREDICTORS = ("tms", "sms", "stems")
+PREDICTORS = harness.STREAMING_PREDICTORS
 
 
 @dataclass(frozen=True)
@@ -38,39 +38,48 @@ class Fig10Row:
         return self.speedup - 1.0
 
 
-def run(config: ExperimentConfig) -> Dict[str, List[Fig10Row]]:
-    results: Dict[str, List[Fig10Row]] = {}
+Plan = Dict[str, Dict[str, SimJob]]
+
+
+def declare(config: ExperimentConfig, graph: JobGraph) -> Plan:
+    """Per workload: the stride-baseline timing run plus one timing run
+    per predictor stacked on the stride engine (Table 1 lists stride as a
+    system component)."""
+    plan: Plan = {}
     for name in config.workloads:
-        trace = config.trace(name)
-        warm = int(len(trace) * config.warmup_fraction)
-        baseline_pf = config.make_prefetcher("stride", name)
-        baseline_run = SimulationDriver(
-            config.system, baseline_pf, record_service=True
-        ).run(trace)
-        baseline = simulate_timing(
-            trace, baseline_run.service, config.system.timing,
-            prefetcher_name="stride", measure_from=warm,
-        )
-        rows: List[Fig10Row] = []
+        jobs = {"baseline": graph.add(config.timing_job(name, "stride"))}
         for kind in PREDICTORS:
-            prefetcher = config.make_prefetcher(kind, name, with_stride=True)
-            result = SimulationDriver(
-                config.system, prefetcher, record_service=True
-            ).run(trace)
-            timing = simulate_timing(
-                trace, result.service, config.system.timing,
-                prefetcher_name=kind, measure_from=warm,
+            jobs[kind] = graph.add(config.timing_job(name, kind, with_stride=True))
+        plan[name] = jobs
+    return plan
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> Dict[str, List[Fig10Row]]:
+    out: Dict[str, List[Fig10Row]] = {}
+    for name, jobs in plan.items():
+        baseline = results[jobs["baseline"]]
+        out[name] = [
+            Fig10Row(
+                workload=name,
+                predictor=kind,
+                baseline_cycles=baseline.cycles,
+                cycles=results[jobs[kind]].cycles,
             )
-            rows.append(
-                Fig10Row(
-                    workload=name,
-                    predictor=kind,
-                    baseline_cycles=baseline.cycles,
-                    cycles=timing.cycles,
-                )
-            )
-        results[name] = rows
-    return results
+            for kind in PREDICTORS
+        ]
+    return out
+
+
+def run(
+    config: ExperimentConfig, engine: Optional[Engine] = None
+) -> Dict[str, List[Fig10Row]]:
+    return harness.execute(declare, collect, config, engine)
+
+
+def export_rows(results: Dict[str, List[Fig10Row]]) -> List[Fig10Row]:
+    return harness.flatten_rows(results)
 
 
 def format_table(results: Dict[str, List[Fig10Row]]) -> str:

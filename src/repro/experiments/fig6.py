@@ -7,19 +7,35 @@ commercial misses are predictable by neither.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.analysis.joint import JointCoverageResult, joint_coverage_analysis
+from repro.analysis.joint import JointCoverageResult
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
 
+Plan = Dict[str, SimJob]
 
-def run(config: ExperimentConfig) -> Dict[str, JointCoverageResult]:
-    results: Dict[str, JointCoverageResult] = {}
-    for name in config.workloads:
-        results[name] = joint_coverage_analysis(
-            config.trace(name), config.system, skip_fraction=config.skip_fraction
-        )
-    return results
+
+def declare(config: ExperimentConfig, graph: JobGraph) -> Plan:
+    """One joint-predictability analysis job per workload."""
+    return {name: graph.add(config.joint_job(name)) for name in config.workloads}
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> Dict[str, JointCoverageResult]:
+    return {name: results[job] for name, job in plan.items()}
+
+
+def run(
+    config: ExperimentConfig, engine: Optional[Engine] = None
+) -> Dict[str, JointCoverageResult]:
+    return harness.execute(declare, collect, config, engine)
+
+
+def export_rows(results: Dict[str, JointCoverageResult]) -> List[JointCoverageResult]:
+    return list(results.values())
 
 
 def format_table(results: Dict[str, JointCoverageResult]) -> str:

@@ -7,21 +7,52 @@ OLTP/web, trigger repetition is 5-15% lower than all-miss repetition.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.repetition import RepetitionBreakdown, repetition_analysis
+from repro.analysis.repetition import RepetitionBreakdown
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
 
 Row = Tuple[RepetitionBreakdown, RepetitionBreakdown]
+Plan = Dict[str, SimJob]
 
 
-def run(config: ExperimentConfig) -> Dict[str, Row]:
-    results: Dict[str, Row] = {}
-    for name in config.workloads:
-        results[name] = repetition_analysis(
-            config.trace(name), config.system, max_elements=config.sequitur_max
-        )
-    return results
+def declare(config: ExperimentConfig, graph: JobGraph) -> Plan:
+    """One Sequitur repetition analysis job per workload."""
+    return {
+        name: graph.add(config.repetition_job(name)) for name in config.workloads
+    }
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> Dict[str, Row]:
+    return {name: results[job] for name, job in plan.items()}
+
+
+def run(
+    config: ExperimentConfig, engine: Optional[Engine] = None
+) -> Dict[str, Row]:
+    return harness.execute(declare, collect, config, engine)
+
+
+def export_rows(results: Dict[str, Row]) -> List[dict]:
+    rows = []
+    for name, (all_misses, triggers) in results.items():
+        for scope, b in (("all", all_misses), ("triggers", triggers)):
+            rows.append(
+                {
+                    "workload": name,
+                    "scope": scope,
+                    "total": b.total,
+                    "opportunity": b.opportunity,
+                    "head": b.head,
+                    "new": b.new,
+                    "non_repetitive": b.non_repetitive,
+                }
+            )
+    return rows
 
 
 def format_table(results: Dict[str, Row]) -> str:

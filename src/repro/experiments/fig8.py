@@ -6,22 +6,48 @@ reordering window of 2, >= 92% within 4 (96% / 92% excluding DSS Q16).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
-from repro.analysis.correlation import (
-    CorrelationDistanceResult,
-    correlation_distance_analysis,
-)
+from repro.analysis.correlation import CorrelationDistanceResult
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
 
+Plan = Dict[str, SimJob]
 
-def run(config: ExperimentConfig) -> Dict[str, CorrelationDistanceResult]:
-    results: Dict[str, CorrelationDistanceResult] = {}
-    for name in config.workloads:
-        results[name] = correlation_distance_analysis(
-            config.trace(name), config.system
-        )
-    return results
+
+def declare(config: ExperimentConfig, graph: JobGraph) -> Plan:
+    """One correlation-distance analysis job per workload."""
+    return {
+        name: graph.add(config.correlation_job(name)) for name in config.workloads
+    }
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> Dict[str, CorrelationDistanceResult]:
+    return {name: results[job] for name, job in plan.items()}
+
+
+def run(
+    config: ExperimentConfig, engine: Optional[Engine] = None
+) -> Dict[str, CorrelationDistanceResult]:
+    return harness.execute(declare, collect, config, engine)
+
+
+def export_rows(results: Dict[str, CorrelationDistanceResult]) -> List[dict]:
+    return [
+        {
+            "workload": r.workload,
+            "at_plus_1": r.fraction_at(1),
+            "within_2": r.cumulative_within(2),
+            "within_4": r.cumulative_within(4),
+            "within_6": r.cumulative_within(6),
+            "matched_fraction": r.matched_fraction,
+            "total_pairs": r.total_pairs,
+        }
+        for r in results.values()
+    ]
 
 
 def format_table(results: Dict[str, CorrelationDistanceResult]) -> str:

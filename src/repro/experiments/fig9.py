@@ -9,12 +9,13 @@ ineffective; on average STeMS covers 62% and overpredicts 29%.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
-from repro.sim.driver import SimulationDriver
 
-PREDICTORS = ("tms", "sms", "stems")
+PREDICTORS = harness.STREAMING_PREDICTORS
 
 
 @dataclass(frozen=True)
@@ -29,16 +30,30 @@ class Fig9Row:
     overpredicted: float
 
 
-def run(config: ExperimentConfig) -> Dict[str, List[Fig9Row]]:
-    results: Dict[str, List[Fig9Row]] = {}
+Plan = Dict[str, Dict[str, SimJob]]
+
+
+def declare(config: ExperimentConfig, graph: JobGraph) -> Plan:
+    """Per workload: the shared no-prefetcher baseline plus one coverage
+    run per memory-streaming predictor."""
+    plan: Plan = {}
     for name in config.workloads:
-        trace = config.trace(name)
-        baseline = SimulationDriver(config.system, None).run(trace)
-        base_misses = max(1, baseline.uncovered)
+        jobs = {"baseline": graph.add(config.coverage_job(name))}
+        for kind in PREDICTORS:
+            jobs[kind] = graph.add(config.coverage_job(name, kind))
+        plan[name] = jobs
+    return plan
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> Dict[str, List[Fig9Row]]:
+    out: Dict[str, List[Fig9Row]] = {}
+    for name, jobs in plan.items():
+        base_misses = max(1, results[jobs["baseline"]].uncovered)
         rows: List[Fig9Row] = []
         for kind in PREDICTORS:
-            prefetcher = config.make_prefetcher(kind, name)
-            result = SimulationDriver(config.system, prefetcher).run(trace)
+            result = results[jobs[kind]]
             rows.append(
                 Fig9Row(
                     workload=name,
@@ -49,8 +64,18 @@ def run(config: ExperimentConfig) -> Dict[str, List[Fig9Row]]:
                     overpredicted=result.overpredictions / base_misses,
                 )
             )
-        results[name] = rows
-    return results
+        out[name] = rows
+    return out
+
+
+def run(
+    config: ExperimentConfig, engine: Optional[Engine] = None
+) -> Dict[str, List[Fig9Row]]:
+    return harness.execute(declare, collect, config, engine)
+
+
+def export_rows(results: Dict[str, List[Fig9Row]]) -> List[Fig9Row]:
+    return harness.flatten_rows(results)
 
 
 def format_table(results: Dict[str, List[Fig9Row]]) -> str:

@@ -1,0 +1,47 @@
+"""Shared declare/execute/collect scaffolding for experiment modules.
+
+Every harness module exposes the same three-function protocol:
+
+* ``declare(config, graph) -> plan`` — add the module's :class:`SimJob`
+  nodes to a (possibly shared) :class:`JobGraph` and return an opaque
+  plan holding the job handles;
+* ``collect(config, plan, results) -> result`` — assemble the module's
+  result structure from the engine's result map;
+* ``run(config, engine=None) -> result`` — the one-shot convenience that
+  wires the two through an engine (a fresh serial one by default).
+
+The runner executes many modules against a *single* graph so shared jobs
+(e.g. the no-prefetcher baselines) are simulated once; ``execute`` below
+is the single-module path used by ``run``, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.engine import Engine, JobGraph, ResultMap
+from repro.experiments.config import ExperimentConfig
+
+Declare = Callable[[ExperimentConfig, JobGraph], Any]
+Collect = Callable[[ExperimentConfig, Any, ResultMap], Any]
+
+#: the memory-streaming predictors figs. 9/10 compare head-to-head
+STREAMING_PREDICTORS = ("tms", "sms", "stems")
+
+
+def flatten_rows(results: Dict[str, List[Any]]) -> List[Any]:
+    """Flatten a per-workload dict-of-row-lists into one export row list."""
+    return [row for rows in results.values() for row in rows]
+
+
+def execute(
+    declare: Declare,
+    collect: Collect,
+    config: ExperimentConfig,
+    engine: Optional[Engine] = None,
+) -> Any:
+    """Declare one module's jobs, run them, and collect its result."""
+    graph = JobGraph()
+    plan = declare(config, graph)
+    results = (engine if engine is not None else Engine()).run(graph)
+    return collect(config, plan, results)

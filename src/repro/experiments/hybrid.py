@@ -8,10 +8,11 @@ generating roughly 2-3x the overpredictions of STeMS in OLTP and web.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
-from repro.sim.driver import SimulationDriver
 
 #: the paper evaluates this point for OLTP and web serving
 DEFAULT_WORKLOADS = ("apache", "zeus", "db2", "oracle")
@@ -32,31 +33,50 @@ class HybridRow:
         return self.hybrid_overpredictions / self.stems_overpredictions
 
 
-def run(config: ExperimentConfig) -> List[HybridRow]:
+Plan = Dict[str, Dict[str, SimJob]]
+
+
+def declare(config: ExperimentConfig, graph: JobGraph) -> Plan:
+    """Per OLTP/web workload: baseline, naive hybrid and STeMS coverage
+    runs (baseline and STeMS nodes are shared with fig9/baselines)."""
+    plan: Plan = {}
+    for name in (w for w in config.workloads if w in DEFAULT_WORKLOADS):
+        plan[name] = {
+            "baseline": graph.add(config.coverage_job(name)),
+            "hybrid": graph.add(config.coverage_job(name, "hybrid")),
+            "stems": graph.add(config.coverage_job(name, "stems")),
+        }
+    return plan
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> List[HybridRow]:
     rows: List[HybridRow] = []
-    workloads = [w for w in config.workloads if w in DEFAULT_WORKLOADS]
-    for name in workloads:
-        trace = config.trace(name)
-        baseline = SimulationDriver(config.system, None).run(trace)
-        base_misses = max(1, baseline.uncovered)
-        outcomes: Dict[str, tuple] = {}
-        for kind in ("hybrid", "stems"):
-            prefetcher = config.make_prefetcher(kind, name)
-            result = SimulationDriver(config.system, prefetcher).run(trace)
-            outcomes[kind] = (
-                result.covered / base_misses,
-                result.overpredictions / base_misses,
-            )
+    for name, jobs in plan.items():
+        base_misses = max(1, results[jobs["baseline"]].uncovered)
+        hybrid_result = results[jobs["hybrid"]]
+        stems_result = results[jobs["stems"]]
         rows.append(
             HybridRow(
                 workload=name,
-                hybrid_coverage=outcomes["hybrid"][0],
-                hybrid_overpredictions=outcomes["hybrid"][1],
-                stems_coverage=outcomes["stems"][0],
-                stems_overpredictions=outcomes["stems"][1],
+                hybrid_coverage=hybrid_result.covered / base_misses,
+                hybrid_overpredictions=hybrid_result.overpredictions / base_misses,
+                stems_coverage=stems_result.covered / base_misses,
+                stems_overpredictions=stems_result.overpredictions / base_misses,
             )
         )
     return rows
+
+
+def run(
+    config: ExperimentConfig, engine: Optional[Engine] = None
+) -> List[HybridRow]:
+    return harness.execute(declare, collect, config, engine)
+
+
+def export_rows(rows: List[HybridRow]) -> List[HybridRow]:
+    return list(rows)
 
 
 def format_table(rows: List[HybridRow]) -> str:

@@ -1,10 +1,20 @@
 """Command-line entry point: regenerate any paper table/figure.
 
+Built on the :mod:`repro.engine` job-graph engine: the selected
+experiments *declare* their simulations into one shared graph, the
+engine deduplicates and executes them (serially, or across processes
+with ``--jobs N``), and each experiment assembles its table from the
+shared results. An on-disk result cache (``--cache-dir``) makes repeat
+and overlapping invocations skip finished simulations entirely.
+
 Usage::
 
     python -m repro.experiments table1
     python -m repro.experiments fig9 --length 150000 --seed 7
-    python -m repro.experiments all --workloads db2 qry2 em3d
+    python -m repro.experiments all --small --jobs 4
+    python -m repro.experiments all --extended --cache-dir .repro-cache
+    python -m repro.experiments fig9 --export json --export-dir results
+    python -m repro.experiments --list
 """
 
 from __future__ import annotations
@@ -12,8 +22,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
+from repro.engine import Engine, JobGraph
 from repro.experiments import (
     baselines,
     fig6,
@@ -26,7 +38,8 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.workloads.registry import WORKLOAD_NAMES
+from repro.sim.export import write_csv, write_json
+from repro.workloads.registry import WORKLOAD_CATEGORIES, WORKLOAD_NAMES
 
 EXPERIMENTS = {
     "table1": table1,
@@ -40,6 +53,11 @@ EXPERIMENTS = {
     "baselines": baselines,
 }
 
+#: the figures/tables that appear in the paper itself; ``--extended``
+#: adds the sensitivity and lineage extension studies
+PAPER_SET = ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "hybrid"]
+EXTENDED_SET = PAPER_SET + ["sensitivity", "baselines"]
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -49,10 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which table/figure to regenerate ('all' covers the paper's "
-        "artifacts; 'sensitivity' and 'baselines' are extensions run "
-        "by name)",
+        "artifacts; add --extended for sensitivity and baselines)",
     )
     parser.add_argument("--length", type=int, default=None,
                         help="trace length per workload")
@@ -63,6 +81,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--small", action="store_true",
                         help="use the fast preset (tests/benchmarks)")
+    parser.add_argument(
+        "--extended", action="store_true",
+        help="make 'all' include the sensitivity and baselines extensions",
+    )
+    engine_group = parser.add_argument_group("engine")
+    engine_group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation jobs (default: 1, serial)",
+    )
+    engine_group.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="on-disk result cache keyed by job hash "
+        "(default: .repro-cache; see --no-cache)",
+    )
+    engine_group.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the result cache",
+    )
+    export_group = parser.add_argument_group("export")
+    export_group.add_argument(
+        "--export", choices=("json", "csv"), default=None,
+        help="also write each experiment's rows as json/csv",
+    )
+    export_group.add_argument(
+        "--export-dir", default="results", metavar="DIR",
+        help="directory for exported row files (default: results)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_available",
+        help="list available experiments and workloads, then exit",
+    )
     return parser
 
 
@@ -77,22 +126,79 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
-def run_one(name: str, config: ExperimentConfig) -> str:
+def make_engine(args: argparse.Namespace) -> Engine:
+    return Engine(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+
+
+def select_experiments(args: argparse.Namespace) -> List[str]:
+    if args.experiment == "all":
+        return list(EXTENDED_SET if args.extended else PAPER_SET)
+    return [args.experiment]
+
+
+def run_one(name: str, config: ExperimentConfig,
+            engine: Optional[Engine] = None) -> str:
+    """Run a single experiment end-to-end and format its table."""
     module = EXPERIMENTS[name]
-    result = module.run(config)
+    result = module.run(config, engine=engine)
     return module.format_table(result)
+
+
+def list_available() -> str:
+    lines = ["experiments:"]
+    for name in PAPER_SET:
+        lines.append(f"  {name:<12} (paper)")
+    for name in EXTENDED_SET:
+        if name not in PAPER_SET:
+            lines.append(f"  {name:<12} (extension; in 'all' via --extended)")
+    lines.append("workloads:")
+    for name in WORKLOAD_NAMES:
+        lines.append(f"  {name:<8} [{WORKLOAD_CATEGORIES[name]}]")
+    return "\n".join(lines)
+
+
+def _export(name: str, result, fmt: str, directory: Path) -> Optional[Path]:
+    module = EXPERIMENTS[name]
+    rows = module.export_rows(result)
+    if not rows:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.{fmt}"
+    writer = write_json if fmt == "json" else write_csv
+    return writer(rows, path)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list_available:
+        print(list_available())
+        return 0
+    if args.experiment is None:
+        build_parser().error("an experiment name (or --list) is required")
     config = make_config(args)
-    paper_set = ["table1", "fig6", "fig7", "fig8", "fig9", "fig10", "hybrid"]
-    names = paper_set if args.experiment == "all" else [args.experiment]
+    engine = make_engine(args)
+    names = select_experiments(args)
+
+    # declare everything into one graph so the engine deduplicates the
+    # jobs shared between figures, then execute the graph exactly once
+    started = time.time()
+    graph = JobGraph()
+    plans = {name: EXPERIMENTS[name].declare(config, graph) for name in names}
+    results = engine.run(graph)
     for name in names:
-        started = time.time()
-        print(run_one(name, config))
-        print(f"[{name}: {time.time() - started:.1f}s]", file=sys.stderr)
+        module = EXPERIMENTS[name]
+        output = module.collect(config, plans[name], results)
+        print(module.format_table(output))
+        if args.export:
+            path = _export(name, output, args.export, Path(args.export_dir))
+            if path is not None:
+                print(f"[{name}: rows exported to {path}]", file=sys.stderr)
         print()
+    print(f"[{engine.stats.format()}, {time.time() - started:.1f}s]",
+          file=sys.stderr)
     return 0
 
 

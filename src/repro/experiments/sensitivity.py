@@ -13,13 +13,12 @@ default) so the knee of every curve can be checked against that argument:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import STeMSConfig
+from repro.engine import Engine, JobGraph, ResultMap, SimJob
+from repro.experiments import harness
 from repro.experiments.config import ExperimentConfig
-from repro.prefetch.stems.stems import STeMSPrefetcher
-from repro.sim.driver import SimulationDriver
 
 #: default sweep points per knob
 SWEEPS: Dict[str, Sequence[int]] = {
@@ -42,45 +41,73 @@ class SensitivityPoint:
     overpredictions: float
 
 
-def _prefetcher_for(knob: str, value: int, base: STeMSConfig) -> STeMSPrefetcher:
+#: plan entry: (workload, knob, value, sweep job); baselines keyed by workload
+Plan = Tuple[Dict[str, SimJob], List[Tuple[str, str, int, SimJob]]]
+
+
+def _sweep_job(config: ExperimentConfig, name: str, knob: str, value: int) -> SimJob:
     if knob == "svb_entries":
-        return STeMSPrefetcher(base)
-    return STeMSPrefetcher(replace(base, **{knob: value}))
+        # staging capacity is a system parameter, not a predictor one
+        return config.coverage_job(
+            name, "stems", system=config.system_with(svb_entries=value)
+        )
+    return config.coverage_job(name, "stems", **{knob: value})
+
+
+def declare(
+    config: ExperimentConfig,
+    graph: JobGraph,
+    knobs: Sequence[str] = tuple(SWEEPS),
+) -> Plan:
+    """Per workload: the shared baseline plus one STeMS run per sweep point."""
+    workloads = [w for w in config.workloads if w in DEFAULT_WORKLOADS]
+    if not workloads:
+        workloads = [config.workloads[0]]
+    baselines: Dict[str, SimJob] = {}
+    sweep: List[Tuple[str, str, int, SimJob]] = []
+    for name in workloads:
+        baselines[name] = graph.add(config.coverage_job(name))
+        for knob in knobs:
+            if knob not in SWEEPS:
+                raise ValueError(f"unknown sensitivity knob {knob!r}")
+            for value in SWEEPS[knob]:
+                sweep.append(
+                    (name, knob, value, graph.add(_sweep_job(config, name, knob, value)))
+                )
+    return baselines, sweep
+
+
+def collect(
+    config: ExperimentConfig, plan: Plan, results: ResultMap
+) -> List[SensitivityPoint]:
+    baselines, sweep = plan
+    base_misses = {
+        name: max(1, results[job].uncovered) for name, job in baselines.items()
+    }
+    return [
+        SensitivityPoint(
+            workload=name,
+            knob=knob,
+            value=value,
+            coverage=results[job].covered / base_misses[name],
+            overpredictions=results[job].overpredictions / base_misses[name],
+        )
+        for name, knob, value, job in sweep
+    ]
 
 
 def run(
     config: ExperimentConfig,
     knobs: Sequence[str] = tuple(SWEEPS),
+    engine: Optional[Engine] = None,
 ) -> List[SensitivityPoint]:
-    points: List[SensitivityPoint] = []
-    workloads = [w for w in config.workloads if w in DEFAULT_WORKLOADS]
-    if not workloads:
-        workloads = [config.workloads[0]]
-    for name in workloads:
-        trace = config.trace(name)
-        baseline = SimulationDriver(config.system, None).run(trace)
-        base_misses = max(1, baseline.uncovered)
-        base_stems = STeMSConfig.scientific() if config.scientific(name) \
-            else STeMSConfig()
-        for knob in knobs:
-            if knob not in SWEEPS:
-                raise ValueError(f"unknown sensitivity knob {knob!r}")
-            for value in SWEEPS[knob]:
-                system = config.system
-                if knob == "svb_entries":
-                    system = replace(system, svb_entries=value)
-                prefetcher = _prefetcher_for(knob, value, base_stems)
-                result = SimulationDriver(system, prefetcher).run(trace)
-                points.append(
-                    SensitivityPoint(
-                        workload=name,
-                        knob=knob,
-                        value=value,
-                        coverage=result.covered / base_misses,
-                        overpredictions=result.overpredictions / base_misses,
-                    )
-                )
-    return points
+    return harness.execute(
+        lambda cfg, graph: declare(cfg, graph, knobs), collect, config, engine
+    )
+
+
+def export_rows(points: List[SensitivityPoint]) -> List[SensitivityPoint]:
+    return list(points)
 
 
 def format_table(points: List[SensitivityPoint]) -> str:

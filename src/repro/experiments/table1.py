@@ -2,13 +2,21 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.engine import Engine, JobGraph, ResultMap
 from repro.experiments.config import ExperimentConfig
 from repro.workloads.registry import WORKLOAD_CATEGORIES, make_workload
 
 
-def run(config: ExperimentConfig) -> List[str]:
+def declare(config: ExperimentConfig, graph: JobGraph) -> None:
+    """Table 1 renders configuration only; it declares no simulation jobs."""
+    return None
+
+
+def collect(
+    config: ExperimentConfig, plan: None, results: ResultMap
+) -> List[str]:
     """Render both halves of Table 1 for the active configuration."""
     system = config.system
     lines = ["== Table 1 (left): system parameters =="]
@@ -44,5 +52,13 @@ def run(config: ExperimentConfig) -> List[str]:
     return lines
 
 
+def run(config: ExperimentConfig, engine: Optional[Engine] = None) -> List[str]:
+    return collect(config, None, ResultMap())
+
+
 def format_table(lines: List[str]) -> str:
     return "\n".join(lines)
+
+
+def export_rows(lines: List[str]) -> List[dict]:
+    return [{"line": line} for line in lines]

@@ -16,7 +16,7 @@ without cost: they would not generate an off-chip fetch.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.common.config import SystemConfig
 from repro.memsys.hierarchy import Hierarchy, ServiceLevel
@@ -30,7 +30,8 @@ from repro.sim.results import (
     SERVICE_SVB,
     CoverageResult,
 )
-from repro.trace.container import Trace
+from repro.trace.container import Trace, TraceLike
+from repro.trace.events import MemoryAccess
 
 
 class SimulationDriver:
@@ -46,15 +47,24 @@ class SimulationDriver:
         self.prefetcher = prefetcher
         self.record_service = record_service
 
-    def run(self, trace: Trace) -> CoverageResult:
+    def run(self, trace: TraceLike) -> CoverageResult:
+        """Walk ``trace`` (materialized or streaming) through the system.
+
+        The loop body is deliberately flat: every per-access attribute
+        lookup that can be hoisted into a local binding is, block ids are
+        precomputed in one pass for materialized traces, and the counter
+        updates run on local integers that are written back to the result
+        once at the end. The accounting is unchanged — results are
+        bit-identical to the straightforward formulation.
+        """
         system = self.system
         prefetcher = self.prefetcher
-        amap = system.address_map
         hierarchy = Hierarchy(system)
         result = CoverageResult(
             workload=trace.name,
             prefetcher=prefetcher.name if prefetcher else "none",
         )
+
         def _discard(block: int, stream: int) -> None:
             result.overpredictions += 1
             if prefetcher is not None:
@@ -63,53 +73,81 @@ class SimulationDriver:
         svb = StreamedValueBuffer(system.svb_entries, on_discard_unused=_discard)
         service = [] if self.record_service else None
 
-        for access in trace:
-            block = amap.block_of(access.address)
+        # -- hoisted bindings for the hot loop --------------------------------
+        svb_contains = svb.__contains__
+        svb_consume = svb.consume
+        svb_insert = svb.insert
+        hier_access = hierarchy.access
+        hier_fill_from_svb = hierarchy.fill_from_svb
+        hier_present = hierarchy.present
+        hier_install = hierarchy.install_prefetch
+        service_append = service.append if service is not None else None
+        on_access = prefetcher.on_access if prefetcher is not None else None
+        pop_requests = prefetcher.pop_requests if prefetcher is not None else None
+        on_l1_eviction = (
+            prefetcher.on_l1_eviction if prefetcher is not None else None
+        )
+        install_target = (
+            prefetcher.install_target if prefetcher is not None else None
+        )
+        level_l1 = ServiceLevel.L1
+        level_l2 = ServiceLevel.L2
+        level_svb = ServiceLevel.SVB
+
+        accesses = reads = writes = 0
+        covered_count = uncovered_count = 0
+        l1_hits = l2_hits = issued_prefetches = 0
+        overpredictions_local = 0
+
+        for access, block in self._access_blocks(trace):
             is_read = not access.is_write
-            result.accesses += 1
+            accesses += 1
             if is_read:
-                result.reads += 1
+                reads += 1
             else:
-                result.writes += 1
+                writes += 1
 
             covered = False
             stream_id = -1
-            if block in svb:
-                consumed = svb.consume(block)
+            if svb_contains(block):
+                consumed = svb_consume(block)
                 stream_id = consumed if consumed is not None else -1
-                outcome = hierarchy.fill_from_svb(block)
-                level = ServiceLevel.SVB
+                outcome = hier_fill_from_svb(block)
+                level = level_svb
                 covered = True
                 if is_read:
-                    result.covered += 1
+                    covered_count += 1
                 klass = SERVICE_SVB
             else:
-                outcome = hierarchy.access(block)
+                outcome = hier_access(block)
                 level = outcome.level
                 if outcome.prefetch_hit:
                     covered = True
                     if is_read:
-                        result.covered += 1
+                        covered_count += 1
                     klass = SERVICE_PREFETCHED_L1
-                elif level is ServiceLevel.L1:
-                    result.l1_hits += 1
+                elif level is level_l1:
+                    l1_hits += 1
                     klass = SERVICE_L1
-                elif level is ServiceLevel.L2:
-                    result.l2_hits += 1
+                elif level is level_l2:
+                    l2_hits += 1
                     klass = SERVICE_L2
                 else:
                     if is_read:
-                        result.uncovered += 1
+                        uncovered_count += 1
                     klass = SERVICE_MEMORY
-            if service is not None:
-                service.append(klass)
+            if service_append is not None:
+                service_append(klass)
+
+            if outcome.l1_unused_prefetch_evicted:
+                overpredictions_local += 1
 
             if prefetcher is None:
-                self._account_evictions(result, outcome, None)
                 continue
 
-            self._account_evictions(result, outcome, prefetcher)
-            prefetcher.on_access(
+            for evicted in outcome.l1_evictions:
+                on_l1_eviction(evicted)
+            on_access(
                 AccessEvent(
                     access=access,
                     block=block,
@@ -118,19 +156,32 @@ class SimulationDriver:
                     stream_id=stream_id,
                 )
             )
-            for request in prefetcher.pop_requests():
-                target = request.target or prefetcher.install_target
+            for request in pop_requests():
+                target = request.target or install_target
                 pf_block = request.block
-                if pf_block in svb or hierarchy.present(pf_block) is not None:
+                if svb_contains(pf_block) or hier_present(pf_block) is not None:
                     continue  # already on chip: no off-chip fetch needed
-                result.issued_prefetches += 1
+                issued_prefetches += 1
                 if target == TARGET_SVB:
-                    svb.insert(pf_block, request.stream_id)
+                    svb_insert(pf_block, request.stream_id)
                 elif target == TARGET_L1:
-                    outcome = hierarchy.install_prefetch(pf_block)
-                    self._account_evictions(result, outcome, prefetcher)
+                    outcome2 = hier_install(pf_block)
+                    if outcome2.l1_unused_prefetch_evicted:
+                        overpredictions_local += 1
+                    for evicted in outcome2.l1_evictions:
+                        on_l1_eviction(evicted)
                 else:
                     raise ValueError(f"unknown prefetch target {target!r}")
+
+        result.accesses = accesses
+        result.reads = reads
+        result.writes = writes
+        result.covered = covered_count
+        result.uncovered = uncovered_count
+        result.l1_hits = l1_hits
+        result.l2_hits = l2_hits
+        result.issued_prefetches = issued_prefetches
+        result.overpredictions += overpredictions_local
 
         # end of run: whatever was fetched but never used is erroneous
         svb.drain_unused()
@@ -142,10 +193,19 @@ class SimulationDriver:
         result.service = service
         return result
 
-    @staticmethod
-    def _account_evictions(result, outcome, prefetcher) -> None:
-        if outcome.l1_unused_prefetch_evicted:
-            result.overpredictions += 1
-        if prefetcher is not None:
-            for block in outcome.l1_evictions:
-                prefetcher.on_l1_eviction(block)
+    def _access_blocks(
+        self, trace: TraceLike
+    ) -> Iterable[Tuple[MemoryAccess, int]]:
+        """Pairs of (access, block id), precomputed when possible.
+
+        A materialized :class:`Trace` gets its block ids computed in one
+        C-speed comprehension pass; a streaming source computes them on
+        the fly so the walk stays O(1) in memory.
+        """
+        block_bits = self.system.address_map.block_bits
+        if isinstance(trace, Trace):
+            accesses = trace.accesses
+            blocks = [a.address >> block_bits for a in accesses]
+            return zip(accesses, blocks)
+        return ((a, a.address >> block_bits) for a in trace)
+

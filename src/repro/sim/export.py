@@ -1,8 +1,13 @@
-"""Result export: CSV / JSON writers and an ASCII bar renderer.
+"""Result export: CSV / JSON writers, result codecs and an ASCII bar renderer.
 
 Experiment harnesses return plain dataclasses; these helpers turn any
 list of them into files (for plotting elsewhere) or quick terminal
 charts (for eyeballing figure shapes without matplotlib).
+
+:func:`encode_result` / :func:`decode_result` are the tagged-JSON codecs
+the engine's on-disk result cache uses: every result type an engine job
+can produce (coverage, timing, and the three trace analyses) round-trips
+through a plain JSON document.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
+from collections import Counter
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Union
 
@@ -56,6 +62,66 @@ def write_json(rows: Sequence[Any], path: PathLike) -> Path:
     with path.open("w") as handle:
         json.dump(records, handle, indent=2, default=str)
     return path
+
+
+def _result_types() -> Dict[str, type]:
+    """Result dataclasses an engine job can produce, by type name.
+
+    Imported lazily so the codec layer never participates in import
+    cycles with the analysis modules.
+    """
+    from repro.analysis.correlation import CorrelationDistanceResult
+    from repro.analysis.joint import JointCoverageResult
+    from repro.analysis.repetition import RepetitionBreakdown
+    from repro.sim.results import CoverageResult, TimingResult
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            CoverageResult,
+            TimingResult,
+            JointCoverageResult,
+            RepetitionBreakdown,
+            CorrelationDistanceResult,
+        )
+    }
+
+
+def encode_result(result: Any) -> Dict[str, Any]:
+    """Encode an engine result (or tuple of results) as tagged JSON data."""
+    if isinstance(result, tuple):
+        return {"__result__": "tuple", "items": [encode_result(r) for r in result]}
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        name = type(result).__name__
+        if name not in _result_types():
+            raise TypeError(f"unregistered result type {name!r}")
+        record: Dict[str, Any] = {"__result__": name}
+        for field in dataclasses.fields(result):
+            value = getattr(result, field.name)
+            if isinstance(value, Counter):
+                # JSON objects stringify int keys; a pair list round-trips
+                value = {"__counter__": sorted(value.items())}
+            record[field.name] = value
+        return record
+    raise TypeError(f"cannot encode result of type {type(result).__name__}")
+
+
+def decode_result(record: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`encode_result`."""
+    tag = record["__result__"]
+    if tag == "tuple":
+        return tuple(decode_result(item) for item in record["items"])
+    try:
+        cls = _result_types()[tag]
+    except KeyError:
+        raise ValueError(f"unknown result type tag {tag!r}") from None
+    kwargs: Dict[str, Any] = {}
+    for field in dataclasses.fields(cls):
+        value = record[field.name]
+        if isinstance(value, Mapping) and "__counter__" in value:
+            value = Counter({key: count for key, count in value["__counter__"]})
+        kwargs[field.name] = value
+    return cls(**kwargs)
 
 
 def ascii_bars(

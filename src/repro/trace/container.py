@@ -1,5 +1,12 @@
-"""Trace container: an ordered collection of MemoryAccess records plus
-metadata (workload name, category, generation parameters) and persistence.
+"""Trace containers: materialized and streaming access sequences.
+
+:class:`Trace` is an ordered in-memory collection of MemoryAccess records
+plus metadata (workload name, category, generation parameters) and
+persistence. :class:`TraceSource` is its lazy counterpart — the same
+metadata plus a factory that yields accesses on demand, so the coverage
+driver can walk arbitrarily long traces in O(1) memory. Consumers that
+need random access or ``len()`` (the timing model, the analyses) call
+``materialize()``, which is the identity on a :class:`Trace`.
 """
 
 from __future__ import annotations
@@ -7,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.trace.events import MemoryAccess
 
@@ -63,6 +70,10 @@ class Trace:
     def reads(self) -> Iterator[MemoryAccess]:
         return (a for a in self.accesses if not a.is_write)
 
+    def materialize(self) -> "Trace":
+        """A :class:`Trace` is already materialized; returns itself."""
+        return self
+
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
@@ -99,3 +110,53 @@ class Trace:
                     instr_gap=instr_gap,
                 )
         return trace
+
+
+class TraceSource:
+    """A lazy trace: metadata plus a factory yielding accesses on demand.
+
+    Each ``iter()`` invokes ``factory`` anew, so a source built from a
+    deterministic generator (seeded workload, file reader) can be walked
+    repeatedly and always replays the same access sequence. The factory
+    must yield accesses with consecutive indices starting at 0.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], Iterable[MemoryAccess]],
+        category: str = "synthetic",
+        metadata: Optional[Dict[str, object]] = None,
+        length_hint: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.metadata: Dict[str, object] = dict(metadata or {})
+        self.length_hint = length_hint
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._factory())
+
+    def materialize(self) -> Trace:
+        """Drain the source into an in-memory :class:`Trace`."""
+        trace = Trace(
+            name=self.name,
+            category=self.category,
+            metadata=dict(self.metadata),
+        )
+        accesses = trace.accesses
+        expected = 0
+        for access in self._factory():
+            if access.index != expected:
+                raise ValueError(
+                    f"access index {access.index} does not continue the "
+                    f"stream (expected {expected})"
+                )
+            accesses.append(access)
+            expected += 1
+        return trace
+
+
+#: anything the simulation driver can walk: materialized or streaming
+TraceLike = Union[Trace, TraceSource]

@@ -12,9 +12,53 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.trace.container import Trace
+from repro.trace.container import Trace, TraceSource
+from repro.trace.events import MemoryAccess
+
+
+class _BurstBuffer:
+    """Minimal append-sink used for streaming generation.
+
+    Components only ever call ``append`` (and read the returned access's
+    ``index``), so this duck-types the :class:`Trace` append API while
+    holding just the current burst in memory; the composer drains it
+    after every scheduler activation.
+    """
+
+    __slots__ = ("chunk", "total")
+
+    def __init__(self) -> None:
+        self.chunk: List[MemoryAccess] = []
+        self.total = 0
+
+    def __len__(self) -> int:
+        return self.total
+
+    def append(
+        self,
+        pc: int,
+        address: int,
+        is_write: bool = False,
+        depends_on: Optional[int] = None,
+        instr_gap: int = 4,
+    ) -> MemoryAccess:
+        access = MemoryAccess(
+            index=self.total,
+            pc=pc,
+            address=address,
+            is_write=is_write,
+            depends_on=depends_on,
+            instr_gap=instr_gap,
+        )
+        self.chunk.append(access)
+        self.total += 1
+        return access
+
+    def drain(self) -> List[MemoryAccess]:
+        chunk, self.chunk = self.chunk, []
+        return chunk
 
 
 class TraceComponent(abc.ABC):
@@ -54,24 +98,33 @@ class ComposedWorkload:
         self._components: List[TraceComponent] = [c for c, _ in components]
         self._shares: List[float] = [w / total for _, w in components]
 
-    def generate(self, n_accesses: int, seed: int = 42) -> Trace:
-        """Generate a trace of at least ``n_accesses`` references."""
+    def trace_metadata(self, n_accesses: int, seed: int) -> dict:
+        """Metadata attached to any trace/source generated with these args."""
+        return {
+            "seed": seed,
+            "requested_accesses": n_accesses,
+            "components": [c.label for c in self._components],
+            "shares": list(self._shares),
+        }
+
+    def iter_accesses(
+        self, n_accesses: int, seed: int = 42
+    ) -> Iterator[MemoryAccess]:
+        """Lazily generate at least ``n_accesses`` references.
+
+        This is the single generation code path: accesses are yielded
+        burst by burst as the deficit scheduler produces them, so only
+        the current burst is ever buffered. Components keep internal
+        cursor state, so each generator pass must run on a *fresh*
+        workload instance (see :func:`repro.workloads.registry.stream_workload`).
+        """
         if n_accesses <= 0:
             raise ValueError(f"n_accesses must be positive, got {n_accesses}")
         rng = random.Random(seed)
-        trace = Trace(
-            name=self.name,
-            category=self.category,
-            metadata={
-                "seed": seed,
-                "requested_accesses": n_accesses,
-                "components": [c.label for c in self._components],
-                "shares": list(self._shares),
-            },
-        )
+        buffer = _BurstBuffer()
         emitted = [0] * len(self._components)
-        while len(trace) < n_accesses:
-            total = max(1, len(trace))
+        while len(buffer) < n_accesses:
+            total = max(1, len(buffer))
             # deficit scheduling: run the component furthest below its share
             deficits = [
                 share * total - count
@@ -80,5 +133,25 @@ class ComposedWorkload:
             pick = max(range(len(deficits)), key=deficits.__getitem__)
             component = self._components[pick]
             for _ in range(max(1, component.run_bursts)):
-                emitted[pick] += component.emit_burst(trace, rng)
-        return trace
+                emitted[pick] += component.emit_burst(buffer, rng)
+            yield from buffer.drain()
+
+    def stream(self, n_accesses: int, seed: int = 42) -> TraceSource:
+        """A lazy :class:`TraceSource` over this workload's accesses.
+
+        Note: bound to *this* instance's component state — iterate at
+        most once. Re-iterable sources come from
+        :func:`repro.workloads.registry.stream_workload`, which rebuilds
+        the workload per pass.
+        """
+        return TraceSource(
+            name=self.name,
+            category=self.category,
+            factory=lambda: self.iter_accesses(n_accesses, seed),
+            metadata=self.trace_metadata(n_accesses, seed),
+            length_hint=n_accesses,
+        )
+
+    def generate(self, n_accesses: int, seed: int = 42) -> Trace:
+        """Generate a materialized trace of at least ``n_accesses`` references."""
+        return self.stream(n_accesses, seed).materialize()

@@ -14,6 +14,7 @@ from __future__ import annotations
 import zlib
 from typing import Dict, List
 
+from repro.trace.container import TraceSource
 from repro.workloads.base import ComposedWorkload
 from repro.workloads.components import (
     ChainTraversalComponent,
@@ -434,3 +435,20 @@ def make_workload(name: str) -> ComposedWorkload:
             f"unknown workload {name!r}; choose from {sorted(_FACTORIES)}"
         ) from None
     return factory()
+
+
+def stream_workload(name: str, n_accesses: int, seed: int = 42) -> TraceSource:
+    """A re-iterable lazy trace source for the named workload.
+
+    Unlike ``make_workload(name).stream(...)``, each iteration pass
+    rebuilds the workload from scratch, so the source always replays the
+    identical access sequence regardless of how often it is walked.
+    """
+    template = make_workload(name)  # validates the name; supplies metadata
+    return TraceSource(
+        name=template.name,
+        category=template.category,
+        factory=lambda: make_workload(name).iter_accesses(n_accesses, seed),
+        metadata=template.trace_metadata(n_accesses, seed),
+        length_hint=n_accesses,
+    )

@@ -2,13 +2,23 @@
 extension experiments."""
 
 import json
+from collections import Counter
 
 import pytest
 
+from repro.analysis.correlation import CorrelationDistanceResult
+from repro.analysis.joint import JointCoverageResult
+from repro.analysis.repetition import RepetitionBreakdown
 from repro.experiments import baselines, sensitivity
 from repro.experiments.config import ExperimentConfig
-from repro.sim.export import ascii_bars, write_csv, write_json
-from repro.sim.results import CoverageResult
+from repro.sim.export import (
+    ascii_bars,
+    decode_result,
+    encode_result,
+    write_csv,
+    write_json,
+)
+from repro.sim.results import CoverageResult, TimingResult
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +69,48 @@ class TestExport:
 
     def test_ascii_bars_empty(self):
         assert ascii_bars({}) == ""
+
+
+class TestResultCodecs:
+    """Every result type an engine job can produce must survive a trip
+    through plain JSON text — the disk cache depends on it."""
+
+    CASES = [
+        CoverageResult(
+            "db2", "stems", accesses=100, reads=80, writes=20,
+            covered=10, uncovered=30, issued_prefetches=15,
+            overpredictions=5, service=["l1", "mem", "svb"],
+            prefetcher_stats={"streams": 3},
+        ),
+        TimingResult("db2", "tms", cycles=1234.5, instructions=1000,
+                     memory_stall_cycles=99.25),
+        JointCoverageResult("qry2", 500, 0.1, 0.2, 0.3, 0.4),
+        (RepetitionBreakdown(10, 0.4, 0.2, 0.2, 0.2),
+         RepetitionBreakdown(5, 0.5, 0.1, 0.2, 0.2)),
+        CorrelationDistanceResult(
+            "em3d", histogram=Counter({1: 7, -2: 3, 4: 1}), unmatched=2
+        ),
+    ]
+
+    @pytest.mark.parametrize("result", CASES, ids=lambda r: type(r).__name__)
+    def test_json_roundtrip(self, result):
+        text = json.dumps(encode_result(result))
+        assert decode_result(json.loads(text)) == result
+
+    def test_counter_keys_stay_ints(self):
+        decoded = decode_result(
+            json.loads(json.dumps(encode_result(self.CASES[-1])))
+        )
+        assert decoded.histogram[-2] == 3
+        assert decoded.cumulative_within(2) == self.CASES[-1].cumulative_within(2)
+
+    def test_unknown_type_rejected_on_encode(self):
+        with pytest.raises(TypeError):
+            encode_result({"plain": "dict"})
+
+    def test_unknown_tag_rejected_on_decode(self):
+        with pytest.raises(ValueError):
+            decode_result({"__result__": "NoSuchResult"})
 
 
 class TestSensitivity:
