@@ -5,6 +5,11 @@ Generates a TPC-C-like trace, simulates the scaled memory hierarchy with
 the STeMS prefetcher attached, and reports coverage, overpredictions and
 the estimated speedup over a stride-prefetched baseline.
 
+The timing runs use the streaming pipeline: the coverage driver walks a
+lazy trace source and feeds each access's service classification
+straight into the incremental ROB/MLP :class:`TimingModel` — one pass,
+no materialized trace, no recorded service list.
+
 Usage::
 
     python examples/quickstart.py [trace_length]
@@ -18,10 +23,20 @@ from repro import (
     StridePrefetcher,
     SystemConfig,
     make_workload,
-    simulate_timing,
 )
 from repro.prefetch.composite import CompositePrefetcher
+from repro.sim.timing import TimingModel
 from repro.trace import summarize_trace
+from repro.workloads.registry import stream_workload
+
+
+def timed_run(system, prefetcher, source, measure_from):
+    """One streaming coverage+timing pass; returns the TimingResult."""
+    model = TimingModel(
+        system.timing, workload=source.name, measure_from=measure_from
+    )
+    SimulationDriver(system, prefetcher, service_consumer=model).run(source)
+    return model.finalize()
 
 
 def main() -> None:
@@ -42,18 +57,14 @@ def main() -> None:
     print(f"STeMS overpredictions:           "
           f"{stems_run.overpredictions / base_misses:.1%}")
 
-    # performance: stride baseline vs stride+STeMS (Fig. 10 methodology)
+    # performance: stride baseline vs stride+STeMS (Fig. 10 methodology),
+    # each a single streaming pass over a fresh lazy source
     warm = int(length * 0.4)
-    stride_run = SimulationDriver(
-        system, StridePrefetcher(), record_service=True
-    ).run(trace)
-    stride_t = simulate_timing(trace, stride_run.service, system.timing,
-                               measure_from=warm)
-    full_run = SimulationDriver(
-        system, CompositePrefetcher(STeMSPrefetcher()), record_service=True
-    ).run(trace)
-    full_t = simulate_timing(trace, full_run.service, system.timing,
-                             measure_from=warm)
+    source = stream_workload("db2", length, seed=42)
+    stride_t = timed_run(system, StridePrefetcher(), source, warm)
+    full_t = timed_run(
+        system, CompositePrefetcher(STeMSPrefetcher()), source, warm
+    )
     print(f"speedup over stride baseline:    "
           f"{full_t.speedup_over(stride_t) - 1:+.1%}")
 

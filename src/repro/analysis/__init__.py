@@ -1,24 +1,51 @@
-"""Trace analyses backing Figures 6-8: joint predictability classification,
-Sequitur-based temporal repetition, and intra-generation correlation
-distance."""
+"""Trace analyses backing Figures 6-8 and the §2.1 stream-length study.
 
+Every analysis is exposed two ways:
+
+* an **incremental consumer** class (:class:`StreamingAnalysis`
+  subclass) with the ``update(access)`` / ``finalize()`` lifecycle, for
+  single-pass O(1)-memory runs over streaming traces;
+* a **convenience function** taking a whole trace (materialized or
+  streaming), kept for interactive use and the original call sites.
+"""
+
+from repro.analysis.base import StreamingAnalysis
 from repro.analysis.sequitur import Sequitur, SequiturGrammar
 from repro.analysis.repetition import (
+    MissSequenceExtractor,
+    RepetitionAnalysis,
     RepetitionBreakdown,
     classify_repetition,
+    miss_and_trigger_sequences,
     repetition_analysis,
 )
-from repro.analysis.correlation import correlation_distance_analysis
-from repro.analysis.joint import joint_coverage_analysis
-from repro.analysis.streams import stream_length_analysis
+from repro.analysis.correlation import (
+    CorrelationDistanceAnalysis,
+    correlation_distance_analysis,
+)
+from repro.analysis.joint import (
+    JointPredictabilityAnalysis,
+    joint_coverage_analysis,
+)
+from repro.analysis.streams import (
+    StreamLengthAnalysis,
+    stream_length_analysis,
+)
 
 __all__ = [
+    "StreamingAnalysis",
     "Sequitur",
     "SequiturGrammar",
+    "MissSequenceExtractor",
+    "RepetitionAnalysis",
     "RepetitionBreakdown",
     "classify_repetition",
+    "miss_and_trigger_sequences",
     "repetition_analysis",
+    "CorrelationDistanceAnalysis",
     "correlation_distance_analysis",
+    "JointPredictabilityAnalysis",
     "joint_coverage_analysis",
+    "StreamLengthAnalysis",
     "stream_length_analysis",
 ]

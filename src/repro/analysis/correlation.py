@@ -8,22 +8,25 @@ pairs whose offsets are absent from the prior sequence are unmatched.
 
 The paper reports the cumulative distribution over distances -6..+6
 (96% of spatial accesses fall in that range).
+
+The analysis is a single-pass incremental consumer
+(:class:`CorrelationDistanceAnalysis`): generations are scored as the
+active-generation table completes them, and only the most recent
+completed sequence per spatial index is retained — peak memory tracks
+the workload's (PC, offset) index footprint, not trace length.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
+from repro.analysis.base import HierarchyReplayAnalysis
 from repro.common.config import SystemConfig
-from repro.memsys.hierarchy import Hierarchy, ServiceLevel
-from repro.prefetch.sms.generations import (
-    ActiveGenerationTable,
-    GenerationRecord,
-    SpatialIndex,
-)
-from repro.trace.container import Trace
+from repro.prefetch.sms.generations import GenerationRecord, SpatialIndex
+from repro.trace.container import TraceLike
+from repro.trace.events import MemoryAccess
 
 
 @dataclass
@@ -79,22 +82,29 @@ class CorrelationDistanceResult:
         return rows
 
 
-def correlation_distance_analysis(
-    trace: Trace, system: SystemConfig
-) -> CorrelationDistanceResult:
-    """Compute the Fig. 8 correlation-distance histogram for ``trace``."""
-    amap = system.address_map
-    hierarchy = Hierarchy(system)
-    result = CorrelationDistanceResult(workload=trace.name)
-    #: last completed sequence per spatial index
-    prior: Dict[SpatialIndex, List[int]] = {}
+class CorrelationDistanceAnalysis(HierarchyReplayAnalysis):
+    """Incremental Fig. 8 scorer over one access stream.
 
-    def on_end(record: GenerationRecord) -> None:
+    Args:
+        system: cache geometry feeding the generation tracker.
+        workload: name stamped on the result.
+    """
+
+    def __init__(self, system: SystemConfig, workload: str = "") -> None:
+        super().__init__(
+            system, on_generation_end=self._on_generation_end
+        )
+        self._result = CorrelationDistanceResult(workload=workload)
+        #: last completed sequence per spatial index
+        self._prior: Dict[SpatialIndex, List[int]] = {}
+
+    def _on_generation_end(self, record: GenerationRecord) -> None:
         sequence = [record.trigger_offset] + [e.offset for e in record.elements]
-        previous = prior.get(record.index)
-        prior[record.index] = sequence
+        previous = self._prior.get(record.index)
+        self._prior[record.index] = sequence
         if previous is None or len(sequence) < 2:
             return
+        result = self._result
         positions = {offset: i for i, offset in enumerate(previous)}
         for a, b in zip(sequence, sequence[1:]):
             pa, pb = positions.get(a), positions.get(b)
@@ -103,13 +113,23 @@ def correlation_distance_analysis(
                 continue
             result.histogram[pb - pa] += 1
 
-    agt = ActiveGenerationTable(64, amap, on_generation_end=on_end)
-    for access in trace:
-        block = amap.block_of(access.address)
-        outcome = hierarchy.access(block)
-        offchip = outcome.level is ServiceLevel.MEMORY
-        agt.observe(access.pc, block, offchip=offchip)
-        for evicted in outcome.l1_evictions:
-            agt.on_l1_eviction(evicted)
-    agt.flush()
-    return result
+    def _observe(self, access: MemoryAccess, block: int, offchip: bool,
+                 generation) -> None:
+        pass  # all accounting happens at generation end
+
+    def _finalize(self) -> CorrelationDistanceResult:
+        self._agt.flush()
+        return self._result
+
+
+def correlation_distance_analysis(
+    trace: TraceLike, system: SystemConfig
+) -> CorrelationDistanceResult:
+    """Compute the Fig. 8 correlation-distance histogram for ``trace``.
+
+    Materialized-convenience wrapper around
+    :class:`CorrelationDistanceAnalysis`.
+    """
+    return CorrelationDistanceAnalysis(
+        system, workload=trace.name
+    ).consume(trace)

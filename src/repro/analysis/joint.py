@@ -17,17 +17,30 @@ temporal correlation, idealized spatial correlation, both, or neither:
 These limit-study definitions deliberately ignore finite tables, stream
 queues and SVB capacity — Fig. 6 measures *opportunity*, and Fig. 9 then
 shows how much of it the real mechanisms capture.
+
+The classifier is a single-pass incremental consumer. The temporal test
+nominally needs the window of misses *following the previous occurrence*
+of each recent miss — which sounds like it requires the whole miss
+sequence — but those windows can be captured forward: every miss opens
+an (initially empty) successor window that the next ``WINDOW`` misses
+fill in, and each miss records a reference to the window its *previous*
+occurrence opened. Recent-miss entries then carry exactly the slice the
+batch formulation would read, and peak memory is bounded by the address
+footprint (one window reference per distinct block), never by trace
+length.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set
 
+from repro.analysis.base import HierarchyReplayAnalysis
 from repro.common.config import SystemConfig
-from repro.memsys.hierarchy import Hierarchy, ServiceLevel
-from repro.prefetch.sms.generations import ActiveGenerationTable, SpatialIndex
-from repro.trace.container import Trace
+from repro.prefetch.sms.generations import SpatialIndex
+from repro.trace.container import TraceLike
+from repro.trace.events import MemoryAccess
 
 
 @dataclass(frozen=True)
@@ -69,93 +82,143 @@ class JointCoverageResult:
 TEMPORAL_WINDOW = 8
 
 
-def joint_coverage_analysis(
-    trace: Trace, system: SystemConfig, skip_fraction: float = 0.0
-) -> JointCoverageResult:
-    """Classify each off-chip read miss of ``trace`` (Fig. 6).
+class JointPredictabilityAnalysis(HierarchyReplayAnalysis):
+    """Incremental Fig. 6 classifier over one access stream.
 
-    ``skip_fraction`` excludes the leading portion of the trace from the
-    reported counts (training still sees it) — the paper classifies
-    traces collected after extensive warming (§5.1), so cold-start
-    compulsory misses would otherwise be over-represented.
+    Args:
+        system: cache geometry used to identify off-chip misses.
+        measure_from: leading accesses excluded from the reported counts
+            (training still sees them) — the paper classifies traces
+            collected after extensive warming (§5.1), so cold-start
+            compulsory misses would otherwise be over-represented.
+        workload: name stamped on the result.
     """
-    if not 0.0 <= skip_fraction < 1.0:
-        raise ValueError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
-    measure_from = int(len(trace) * skip_fraction)
-    amap = system.address_map
-    hierarchy = Hierarchy(system)
-    #: full miss sequence and last-occurrence index, for the windowed
-    #: temporal-predictability test
-    miss_sequence: List[int] = []
-    last_occurrence: Dict[int, int] = {}
-    #: per miss position: the previous occurrence of that address, if any
-    previous_occurrence: List[Optional[int]] = []
-    #: per spatial index: offsets ever touched in a completed generation
-    spatial_history: Dict[SpatialIndex, Set[int]] = {}
 
-    def on_end(record) -> None:
-        spatial_history[record.index] = {e.offset for e in record.elements}
+    def __init__(
+        self,
+        system: SystemConfig,
+        measure_from: int = 0,
+        workload: str = "",
+    ) -> None:
+        super().__init__(
+            system, on_generation_end=self._on_generation_end
+        )
+        if measure_from < 0:
+            raise ValueError(f"measure_from must be >= 0, got {measure_from}")
+        self.workload = workload
+        self.measure_from = measure_from
+        #: per spatial index: offsets ever touched in a completed generation
+        self._spatial_history: Dict[SpatialIndex, Set[int]] = {}
+        # -- temporal-window machinery (see module docstring) --------------
+        #: successor window opened at each block's most recent miss
+        self._window_after: Dict[int, List[int]] = {}
+        #: windows still collecting their next TEMPORAL_WINDOW misses
+        self._filling: Deque[List[int]] = deque()
+        #: per recent miss: the window after its *previous* occurrence
+        self._recent: Deque[Optional[List[int]]] = deque(maxlen=TEMPORAL_WINDOW)
+        self._counts = {"both": 0, "tms": 0, "sms": 0, "neither": 0}
+        self._misses = 0
 
-    agt = ActiveGenerationTable(64, amap, on_generation_end=on_end)
+    def _on_generation_end(self, record) -> None:
+        self._spatial_history[record.index] = {
+            e.offset for e in record.elements
+        }
 
-    counts = {"both": 0, "tms": 0, "sms": 0, "neither": 0}
-    misses = 0
-    for access in trace:
-        block = amap.block_of(access.address)
-        outcome = hierarchy.access(block)
-        offchip = outcome.level is ServiceLevel.MEMORY
-        result = agt.observe(access.pc, block, offchip=offchip)
-        for evicted in outcome.l1_evictions:
-            agt.on_l1_eviction(evicted)
+    def _observe(self, access: MemoryAccess, block: int, offchip: bool,
+                 generation) -> None:
         if not offchip or access.is_write:
-            continue
-        measured = access.index >= measure_from
+            return
+        measured = access.index >= self.measure_from
         if measured:
-            misses += 1
+            self._misses += 1
 
         # temporal: did a recent miss occur earlier in the sequence with
         # this block among the addresses that followed it within the
-        # streaming window?
+        # streaming window? Each recent entry holds exactly the misses
+        # observed so far in the window after its previous occurrence.
         temporal = False
-        window = TEMPORAL_WINDOW
-        position = len(miss_sequence)
-        for recent_pos in range(max(0, position - window), position):
-            earlier = previous_occurrence[recent_pos]
-            if earlier is None:
-                continue
-            if block in miss_sequence[earlier + 1:earlier + 1 + window]:
+        for window in self._recent:
+            if window is not None and block in window:
                 temporal = True
                 break
-        previous_occurrence.append(last_occurrence.get(block))
-        miss_sequence.append(block)
-        last_occurrence[block] = position
+        self._recent.append(self._window_after.get(block))
+        # this miss extends every window still collecting successors ...
+        filling = self._filling
+        for window in filling:
+            window.append(block)
+        while filling and len(filling[0]) >= TEMPORAL_WINDOW:
+            filling.popleft()
+        # ... and opens the successor window for its own occurrence
+        opened: List[int] = []
+        filling.append(opened)
+        self._window_after[block] = opened
 
         spatial = False
-        if not result.is_trigger:
-            history = spatial_history.get(result.record.index)
+        if not generation.is_trigger:
+            history = self._spatial_history.get(generation.record.index)
             spatial = (
                 history is not None
-                and amap.offset_in_region(block) in history
+                and self._amap.offset_in_region(block) in history
             )
 
         if measured:
             if temporal and spatial:
-                counts["both"] += 1
+                self._counts["both"] += 1
             elif temporal:
-                counts["tms"] += 1
+                self._counts["tms"] += 1
             elif spatial:
-                counts["sms"] += 1
+                self._counts["sms"] += 1
             else:
-                counts["neither"] += 1
+                self._counts["neither"] += 1
 
-    agt.flush()
-    if misses == 0:
-        return JointCoverageResult(trace.name, 0, 0.0, 0.0, 0.0, 0.0)
-    return JointCoverageResult(
+    def _finalize(self) -> JointCoverageResult:
+        self._agt.flush()
+        misses = self._misses
+        if misses == 0:
+            return JointCoverageResult(self.workload, 0, 0.0, 0.0, 0.0, 0.0)
+        counts = self._counts
+        return JointCoverageResult(
+            workload=self.workload,
+            misses=misses,
+            both=counts["both"] / misses,
+            tms_only=counts["tms"] / misses,
+            sms_only=counts["sms"] / misses,
+            neither=counts["neither"] / misses,
+        )
+
+
+def joint_coverage_analysis(
+    trace: TraceLike, system: SystemConfig, skip_fraction: float = 0.0
+) -> JointCoverageResult:
+    """Classify each off-chip read miss of ``trace`` (Fig. 6).
+
+    Materialized-convenience wrapper around
+    :class:`JointPredictabilityAnalysis`: ``skip_fraction`` is resolved
+    against ``len(trace)`` (or, for a lazy source, its ``length_hint``,
+    which generators may overshoot by up to one burst) into the
+    ``measure_from`` index the incremental classifier uses. The engine
+    path (:mod:`repro.engine.exec`) instead resolves against the job's
+    requested length on both the streamed and materialized paths, which
+    is where bit-parity is guaranteed.
+    """
+    if not 0.0 <= skip_fraction < 1.0:
+        raise ValueError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+    measure_from = 0
+    if skip_fraction:
+        try:
+            length = len(trace)  # type: ignore[arg-type]
+        except TypeError:
+            length = getattr(trace, "length_hint", None)
+            if length is None:
+                raise ValueError(
+                    "skip_fraction needs a trace with len() or a "
+                    "length_hint; pass measure_from to "
+                    "JointPredictabilityAnalysis directly instead"
+                ) from None
+        measure_from = int(length * skip_fraction)
+    analysis = JointPredictabilityAnalysis(
+        system,
+        measure_from=measure_from,
         workload=trace.name,
-        misses=misses,
-        both=counts["both"] / misses,
-        tms_only=counts["tms"] / misses,
-        sms_only=counts["sms"] / misses,
-        neither=counts["neither"] / misses,
     )
+    return analysis.consume(trace)

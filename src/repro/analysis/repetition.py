@@ -14,20 +14,23 @@ We build the Sequitur grammar and walk the root rule: each non-terminal
 reference expands to a repeated subsequence (rule utility guarantees >= 2
 uses). The first encounter of a rule yields "new" tokens; later
 encounters yield one "head" plus "opportunity". Terminals remaining at
-the root are non-repetitive.
+the root are non-repetitive. The trace walk is a single-pass incremental
+consumer (:class:`RepetitionAnalysis`): only the trailing
+``max_elements`` miss/trigger block ids are retained (bounded deques),
+so peak memory is set by the Sequitur input bound, not trace length.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Hashable, List, Sequence, Set, Tuple
+from typing import Deque, Hashable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.base import HierarchyReplayAnalysis, StreamingAnalysis
 from repro.analysis.sequitur import Rule, Sequitur
-from repro.common.addresses import AddressMap
 from repro.common.config import SystemConfig
-from repro.memsys.hierarchy import Hierarchy, ServiceLevel
-from repro.prefetch.sms.generations import ActiveGenerationTable
-from repro.trace.container import Trace
+from repro.trace.container import TraceLike
+from repro.trace.events import MemoryAccess
 
 #: classification labels in display order
 CATEGORIES = ("opportunity", "head", "new", "non_repetitive")
@@ -72,9 +75,6 @@ def classify_repetition(sequence: Sequence[Hashable]) -> RepetitionBreakdown:
                 length += 1
         return length
 
-    def credit(rule: Rule, category: str) -> None:
-        counts[category] += expand_len(rule)
-
     def walk_new(rule: Rule) -> None:
         """Expand a first-encounter occurrence: tokens are 'new', except
         nested rules already seen elsewhere, which repeat."""
@@ -111,47 +111,85 @@ def classify_repetition(sequence: Sequence[Hashable]) -> RepetitionBreakdown:
     )
 
 
+class MissSequenceExtractor(HierarchyReplayAnalysis):
+    """Incremental hierarchy replay collecting miss / trigger block ids.
+
+    Args:
+        system: cache geometry used to identify off-chip misses.
+        max_elements: retain only the trailing ``max_elements`` of each
+            sequence (None keeps everything): the paper traces after
+            extensive warming (§5.1), and a cold prefix is dominated by
+            first-traversal compulsory misses that would mask
+            steady-state repetition.
+    """
+
+    def __init__(
+        self, system: SystemConfig, max_elements: Optional[int] = None
+    ) -> None:
+        super().__init__(system)
+        self.misses: Deque[int] = deque(maxlen=max_elements)
+        self.triggers: Deque[int] = deque(maxlen=max_elements)
+
+    def _observe(self, access: MemoryAccess, block: int, offchip: bool,
+                 generation) -> None:
+        if offchip and not access.is_write:
+            self.misses.append(block)
+            if generation.is_trigger:
+                self.triggers.append(block)
+
+    def _finalize(self) -> Tuple[List[int], List[int]]:
+        return list(self.misses), list(self.triggers)
+
+
+class RepetitionAnalysis(StreamingAnalysis):
+    """Incremental Fig. 7 analysis: Sequitur over the trailing miss tail.
+
+    Args:
+        system: cache geometry used to identify off-chip misses.
+        max_elements: Sequitur input bound (grammar inference over very
+            long sequences is the dominant cost of this analysis).
+        workload: name carried for symmetry with the other analyses.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        max_elements: int = 60000,
+        workload: str = "",
+    ) -> None:
+        super().__init__()
+        self.workload = workload
+        self._extractor = MissSequenceExtractor(system, max_elements)
+
+    def _update(self, access: MemoryAccess) -> None:
+        self._extractor.update(access)
+
+    def _finalize(self) -> Tuple[RepetitionBreakdown, RepetitionBreakdown]:
+        misses, triggers = self._extractor.finalize()
+        return classify_repetition(misses), classify_repetition(triggers)
+
+
 def miss_and_trigger_sequences(
-    trace: Trace, system: SystemConfig
+    trace: TraceLike, system: SystemConfig
 ) -> Tuple[List[int], List[int]]:
     """Replay ``trace`` through the hierarchy; return the off-chip read
     miss address sequence and its spatial-trigger subsequence (§5.3:
     "Triggers" are the subset of misses that begin a spatial generation).
     """
-    hierarchy = Hierarchy(system)
-    amap = system.address_map
-    agt = ActiveGenerationTable(64, amap)
-    misses: List[int] = []
-    triggers: List[int] = []
-    for access in trace:
-        block = amap.block_of(access.address)
-        outcome = hierarchy.access(block)
-        offchip = outcome.level is ServiceLevel.MEMORY
-        result = agt.observe(access.pc, block, offchip=offchip)
-        for evicted in outcome.l1_evictions:
-            agt.on_l1_eviction(evicted)
-        if offchip and not access.is_write:
-            misses.append(block)
-            if result.is_trigger:
-                triggers.append(block)
-    return misses, triggers
+    return MissSequenceExtractor(system).consume(trace)
 
 
 def repetition_analysis(
-    trace: Trace,
+    trace: TraceLike,
     system: SystemConfig,
     max_elements: int = 60000,
 ) -> Tuple[RepetitionBreakdown, RepetitionBreakdown]:
     """Fig. 7 for one workload: (all-misses breakdown, triggers breakdown).
 
-    ``max_elements`` bounds the Sequitur input length (grammar inference
-    over very long sequences is the dominant cost of this analysis). The
-    *tail* of each sequence is analyzed: the paper traces after extensive
-    warming (§5.1), and a cold prefix is dominated by first-traversal
-    compulsory misses that would mask steady-state repetition.
+    Materialized-convenience wrapper around :class:`RepetitionAnalysis`;
+    the *tail* of each sequence (``max_elements`` elements) is analyzed.
     """
-    misses, triggers = miss_and_trigger_sequences(trace, system)
-    return (
-        classify_repetition(misses[-max_elements:]),
-        classify_repetition(triggers[-max_elements:]),
-    )
+    return RepetitionAnalysis(
+        system, max_elements=max_elements,
+        workload=getattr(trace, "name", ""),
+    ).consume(trace)

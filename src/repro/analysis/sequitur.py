@@ -220,26 +220,58 @@ class SequiturGrammar:
 
 
 class Sequitur:
-    """Incremental Sequitur grammar builder."""
+    """Incremental Sequitur grammar builder.
+
+    Follows the same ``update()``/``finalize()`` lifecycle as the trace
+    analyses: feed terminals one at a time, then finalize exactly once
+    for the finished grammar. ``grammar()`` remains available for
+    non-destructive snapshots mid-stream.
+    """
 
     def __init__(self) -> None:
         self._next_rule_id = 0
         self._index: Dict[Tuple, _Symbol] = {}
         self._rules: Dict[int, Rule] = {}
+        self._finalized = False
         self.root = Rule(self)
 
     def append(self, value: Terminal) -> None:
-        """Append one terminal to the input sequence."""
+        """Append one terminal to the input sequence.
+
+        Raises:
+            RuntimeError: if the grammar has already been finalized.
+        """
+        if self._finalized:
+            raise RuntimeError("Sequitur.append() called after finalize()")
         self.root.last().insert_after(_Symbol(value, self))
         if self.root.first() is not self.root.last():
             self.root.last().prev.check()  # type: ignore[union-attr]
 
+    #: lifecycle alias: the analyses' per-element hook
+    update = append
+
     def feed(self, values: Iterable[Terminal]) -> None:
+        """Append every terminal of ``values`` in order."""
         for value in values:
             self.append(value)
 
     def grammar(self) -> SequiturGrammar:
+        """A snapshot of the current grammar (builder stays usable)."""
         return SequiturGrammar(root=self.root, rules=dict(self._rules))
+
+    def finalize(self) -> SequiturGrammar:
+        """Close the input sequence and return the finished grammar.
+
+        Returns:
+            The grammar over everything appended so far.
+
+        Raises:
+            RuntimeError: if called twice.
+        """
+        if self._finalized:
+            raise RuntimeError("Sequitur.finalize() called twice")
+        self._finalized = True
+        return self.grammar()
 
     @staticmethod
     def build(values: Iterable[Terminal]) -> SequiturGrammar:

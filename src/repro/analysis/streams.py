@@ -14,8 +14,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.base import HierarchyReplayAnalysis
 from repro.common.config import SystemConfig
-from repro.trace.container import Trace
+from repro.trace.container import TraceLike
+from repro.trace.events import MemoryAccess
 
 
 @dataclass
@@ -104,13 +106,53 @@ def stream_lengths_of_sequence(
     return result
 
 
-def stream_length_analysis(
-    trace: Trace, system: SystemConfig, lookahead: int = 8
-) -> StreamLengthResult:
-    """Stream-length distribution for ``trace``'s off-chip read misses."""
-    from repro.analysis.repetition import miss_and_trigger_sequences
+class StreamLengthAnalysis(HierarchyReplayAnalysis):
+    """Incremental §2.1 stream-length analysis over one access stream.
 
-    misses, _ = miss_and_trigger_sequences(trace, system)
-    result = stream_lengths_of_sequence(misses, lookahead=lookahead)
-    result.workload = trace.name
-    return result
+    Collects the off-chip read-miss block sequence while walking the
+    stream, then runs the greedy matcher at :meth:`finalize`. The greedy
+    matcher relocates streams at a miss's arbitrarily old previous
+    occurrence, so — unlike the other analyses — the full miss *block id*
+    sequence is retained (plain ints, a small fraction of the access
+    stream); the trace itself is never materialized.
+
+    Args:
+        system: cache geometry used to identify off-chip misses.
+        lookahead: streaming window of the Fig. 6 classifier.
+        workload: name stamped on the result.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        lookahead: int = 8,
+        workload: str = "",
+    ) -> None:
+        super().__init__(system, use_agt=False)
+        self.workload = workload
+        self.lookahead = lookahead
+        self._misses: List[int] = []
+
+    def _observe(self, access: MemoryAccess, block: int, offchip: bool,
+                 generation) -> None:
+        if offchip and not access.is_write:
+            self._misses.append(block)
+
+    def _finalize(self) -> StreamLengthResult:
+        result = stream_lengths_of_sequence(
+            self._misses, lookahead=self.lookahead
+        )
+        result.workload = self.workload
+        return result
+
+
+def stream_length_analysis(
+    trace: TraceLike, system: SystemConfig, lookahead: int = 8
+) -> StreamLengthResult:
+    """Stream-length distribution for ``trace``'s off-chip read misses.
+
+    Materialized-convenience wrapper around :class:`StreamLengthAnalysis`.
+    """
+    return StreamLengthAnalysis(
+        system, lookahead=lookahead, workload=trace.name
+    ).consume(trace)

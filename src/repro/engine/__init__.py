@@ -24,7 +24,12 @@ Typical use::
 
 from repro.engine.cache import ResultCache
 from repro.engine.engine import Engine, EngineStats, ResultMap
-from repro.engine.exec import build_prefetcher, execute_job, materialized_trace
+from repro.engine.exec import (
+    build_prefetcher,
+    execute_job,
+    job_trace,
+    materialized_trace,
+)
 from repro.engine.graph import JobGraph
 from repro.engine.job import (
     JOB_KINDS,
@@ -53,5 +58,6 @@ __all__ = [
     "SimJob",
     "build_prefetcher",
     "execute_job",
+    "job_trace",
     "materialized_trace",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Union
 
@@ -57,22 +58,43 @@ class ResultMap(Dict[str, Any]):
 
 
 class Engine:
-    """Executes job graphs with optional parallelism and disk caching."""
+    """Executes job graphs with optional parallelism and disk caching.
+
+    Args:
+        jobs: worker processes for simulation jobs (1 = serial/inline).
+        cache_dir: on-disk result cache directory, or None to disable.
+        use_cache: set False to neither read nor write ``cache_dir``.
+        materialize: compatibility flag — True generates each job's trace
+            into memory (per-process memo) instead of streaming it;
+            results are bit-identical either way, but streaming keeps
+            peak memory independent of trace length. None defers to the
+            ``REPRO_MATERIALIZE`` environment variable.
+    """
 
     def __init__(
         self,
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
+        materialize: Optional[bool] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if (cache_dir and use_cache) else None
         )
+        self.materialize = materialize
         self.stats = EngineStats()
 
     def run(self, graph: JobGraph) -> ResultMap:
-        """Execute every job in ``graph``; returns hash -> result."""
+        """Execute every job in ``graph``.
+
+        Args:
+            graph: the deduplicated set of jobs to satisfy.
+
+        Returns:
+            A :class:`ResultMap` from job hash (or job) to result,
+            covering every job in the graph.
+        """
         self.stats.requested += graph.requested
         self.stats.deduplicated += graph.deduplicated
         results = ResultMap()
@@ -95,17 +117,17 @@ class Engine:
     def _execute(self, pending: "list[SimJob]") -> Iterable["tuple[SimJob, Any]"]:
         if self.jobs == 1 or len(pending) == 1:
             for job in pending:
-                yield job, execute_job(job)
+                yield job, execute_job(job, self.materialize)
             return
         # group-by-trace scheduling: keep jobs that share a generated
         # trace adjacent so reused pool workers hit their trace memo
+        # (materialize mode) or at least their OS page cache (streaming)
         ordered = sorted(pending, key=lambda j: (j.trace_key, j.job_hash))
         by_hash = {job.job_hash: job for job in ordered}
         workers = min(self.jobs, len(ordered))
+        run_job = partial(execute_job_with_hash, materialize=self.materialize)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for job_hash, result in pool.map(
-                execute_job_with_hash, ordered, chunksize=1
-            ):
+            for job_hash, result in pool.map(run_job, ordered, chunksize=1):
                 yield by_hash[job_hash], result
 
     def report(self, stream=sys.stderr) -> None:

@@ -1,4 +1,4 @@
-"""Job execution: trace materialization, predictor construction, dispatch.
+"""Job execution: trace streaming, predictor construction, dispatch.
 
 This module is the worker side of the engine: :func:`execute_job` takes a
 picklable :class:`SimJob` and returns a picklable result dataclass, so it
@@ -7,22 +7,34 @@ runs identically inline (serial mode) and inside a
 either way because every job rebuilds its trace and predictor from the
 job's seeds alone.
 
-Traces are memoized per process in a small bounded LRU keyed by
-``(workload, length, seed)``: many jobs share one trace (a figure runs
-several predictors over each workload), and pool workers are reused
-across jobs, so each process generates each trace at most once while
-holding only a handful in memory.
+Every job kind runs **single-pass and O(1) in memory** by default: the
+trace is a re-iterable :class:`~repro.trace.container.TraceSource` whose
+accesses flow straight into the coverage driver / analysis consumers and
+are garbage the moment they are processed. A timing job shares one walk
+between coverage classification and the incremental
+:class:`~repro.sim.timing.TimingModel` — no trace, no service list.
+
+The **materialize compatibility flag** (``execute_job(job,
+materialize=True)``, ``Engine(materialize=True)``, CLI
+``--materialize``, env ``REPRO_MATERIALIZE=1``) restores the previous
+behaviour: traces are generated into memory once and memoized per
+process in a small bounded LRU keyed by ``(workload, length, seed)``,
+which trades O(trace) memory for cheaper repeat walks when many jobs
+share a trace. Both paths walk the identical access sequence through
+identical consumers, so results are bit-identical — the flag only moves
+the memory/time trade-off.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Any, Callable, Dict, Optional
 
-from repro.analysis.correlation import correlation_distance_analysis
-from repro.analysis.joint import joint_coverage_analysis
-from repro.analysis.repetition import repetition_analysis
+from repro.analysis.correlation import CorrelationDistanceAnalysis
+from repro.analysis.joint import JointPredictabilityAnalysis
+from repro.analysis.repetition import RepetitionAnalysis
 from repro.common.config import SMSConfig, STeMSConfig, TMSConfig
 from repro.engine.job import (
     CONFIGURABLE_PREFETCHER_KINDS,
@@ -44,12 +56,28 @@ from repro.prefetch.stems.stems import STeMSPrefetcher
 from repro.prefetch.stride import StridePrefetcher
 from repro.prefetch.tms.tms import TMSPrefetcher
 from repro.sim.driver import SimulationDriver
-from repro.sim.timing import simulate_timing
-from repro.trace.container import Trace
-from repro.workloads.registry import WORKLOAD_CATEGORIES, make_workload
+from repro.sim.timing import TimingModel
+from repro.trace.container import Trace, TraceLike
+from repro.workloads.registry import (
+    WORKLOAD_CATEGORIES,
+    make_workload,
+    stream_workload,
+)
 
-#: traces kept alive per process; the suite has 10 workloads and traces
-#: are the dominant memory term, so keep the cap modest
+def default_materialize() -> bool:
+    """Process-wide default for the materialize compatibility flag.
+
+    Read from the ``REPRO_MATERIALIZE`` environment variable at call
+    time, so setting it after import (tests, wrapper scripts) works.
+    """
+    return os.environ.get("REPRO_MATERIALIZE", "").lower() in (
+        "1", "true", "yes",
+    )
+
+
+#: traces kept alive per process (materialize mode only); the suite has
+#: 10 workloads and traces are the dominant memory term, so keep the cap
+#: modest
 _TRACE_MEMO_CAP = 16
 _TRACE_MEMO: "OrderedDict[tuple, Trace]" = OrderedDict()
 
@@ -70,6 +98,14 @@ def materialized_trace(workload: str, length: int, seed: int) -> Trace:
 
 def clear_trace_memo() -> None:
     _TRACE_MEMO.clear()
+
+
+def job_trace(job: SimJob, materialize: bool) -> TraceLike:
+    """The trace a job walks: a lazy source, or the memoized in-memory
+    trace when the materialize compatibility flag is set."""
+    if materialize:
+        return materialized_trace(job.workload, job.length, job.seed)
+    return stream_workload(job.workload, job.length, job.seed)
 
 
 def build_prefetcher(
@@ -120,47 +156,52 @@ def build_prefetcher(
     return main
 
 
-def _run_coverage(job: SimJob) -> Any:
-    trace = materialized_trace(job.workload, job.length, job.seed)
+def _run_coverage(job: SimJob, trace: TraceLike) -> Any:
     prefetcher = build_prefetcher(job.prefetcher, job.workload)
     return SimulationDriver(job.system, prefetcher).run(trace)
 
 
-def _run_timing(job: SimJob) -> Any:
-    trace = materialized_trace(job.workload, job.length, job.seed)
+def _run_timing(job: SimJob, trace: TraceLike) -> Any:
+    # one shared walk: the driver classifies each access and feeds the
+    # incremental timing model in the same pass (no service list)
     prefetcher = build_prefetcher(job.prefetcher, job.workload)
-    run = SimulationDriver(job.system, prefetcher, record_service=True).run(trace)
-    warm = int(len(trace) * float(job.param("warmup_fraction", 0.0)))
-    name = job.prefetcher.kind if job.prefetcher else "none"
-    return simulate_timing(
-        trace,
-        run.service,
+    warm = int(job.length * float(job.param("warmup_fraction", 0.0)))
+    model = TimingModel(
         job.system.timing,
-        prefetcher_name=name,
+        workload=job.workload,
+        prefetcher_name=job.prefetcher.kind if job.prefetcher else "none",
         measure_from=warm,
     )
+    SimulationDriver(job.system, prefetcher, service_consumer=model).run(trace)
+    return model.finalize()
 
 
-def _run_joint(job: SimJob) -> Any:
-    trace = materialized_trace(job.workload, job.length, job.seed)
-    return joint_coverage_analysis(
-        trace, job.system, skip_fraction=float(job.param("skip_fraction", 0.0))
-    )
+def _run_joint(job: SimJob, trace: TraceLike) -> Any:
+    skip = float(job.param("skip_fraction", 0.0))
+    if not 0.0 <= skip < 1.0:
+        raise ValueError(f"skip_fraction must be in [0, 1), got {skip}")
+    return JointPredictabilityAnalysis(
+        job.system,
+        measure_from=int(job.length * skip),
+        workload=job.workload,
+    ).consume(trace)
 
 
-def _run_repetition(job: SimJob) -> Any:
-    trace = materialized_trace(job.workload, job.length, job.seed)
-    return repetition_analysis(
-        trace, job.system, max_elements=int(job.param("max_elements", 60000))
-    )
+def _run_repetition(job: SimJob, trace: TraceLike) -> Any:
+    return RepetitionAnalysis(
+        job.system,
+        max_elements=int(job.param("max_elements", 60000)),
+        workload=job.workload,
+    ).consume(trace)
 
 
-def _run_correlation(job: SimJob) -> Any:
-    trace = materialized_trace(job.workload, job.length, job.seed)
-    return correlation_distance_analysis(trace, job.system)
+def _run_correlation(job: SimJob, trace: TraceLike) -> Any:
+    return CorrelationDistanceAnalysis(
+        job.system, workload=job.workload
+    ).consume(trace)
 
 
-_EXECUTORS: Dict[str, Callable[[SimJob], Any]] = {
+_EXECUTORS: Dict[str, Callable[[SimJob, TraceLike], Any]] = {
     KIND_COVERAGE: _run_coverage,
     KIND_TIMING: _run_timing,
     KIND_JOINT: _run_joint,
@@ -169,11 +210,26 @@ _EXECUTORS: Dict[str, Callable[[SimJob], Any]] = {
 }
 
 
-def execute_job(job: SimJob) -> Any:
-    """Run one job to completion and return its result dataclass."""
-    return _EXECUTORS[job.kind](job)
+def execute_job(job: SimJob, materialize: Optional[bool] = None) -> Any:
+    """Run one job to completion and return its result dataclass.
+
+    Args:
+        job: the simulation/analysis description to execute.
+        materialize: compatibility flag — True walks a memoized in-memory
+            trace instead of a streaming source; None (default) defers to
+            the ``REPRO_MATERIALIZE`` environment variable.
+
+    Returns:
+        The kind-specific result dataclass; bit-identical across both
+        trace modes, serial/parallel execution and cache round-trips.
+    """
+    if materialize is None:
+        materialize = default_materialize()
+    return _EXECUTORS[job.kind](job, job_trace(job, materialize))
 
 
-def execute_job_with_hash(job: SimJob) -> "tuple[str, Any]":
+def execute_job_with_hash(
+    job: SimJob, materialize: Optional[bool] = None
+) -> "tuple[str, Any]":
     """Pool-friendly wrapper: pairs the result with the job's hash."""
-    return job.job_hash, execute_job(job)
+    return job.job_hash, execute_job(job, materialize)

@@ -16,7 +16,11 @@ from repro.engine.job import SimJob
 
 
 class JobGraph:
-    """An insertion-ordered set of :class:`SimJob` nodes keyed by hash."""
+    """An insertion-ordered set of :class:`SimJob` nodes keyed by hash.
+
+    Experiments declare into a shared graph; the graph collapses
+    duplicates so the engine simulates each distinct point exactly once.
+    """
 
     def __init__(self) -> None:
         self._jobs: Dict[str, SimJob] = {}
@@ -24,7 +28,15 @@ class JobGraph:
         self.requested = 0
 
     def add(self, job: SimJob) -> SimJob:
-        """Insert ``job``, returning the canonical (first-added) instance."""
+        """Insert ``job``, collapsing duplicates by content hash.
+
+        Args:
+            job: the job description to declare.
+
+        Returns:
+            The canonical (first-added) instance for this content hash —
+            hold on to it to index the engine's result map later.
+        """
         self.requested += 1
         return self._jobs.setdefault(job.job_hash, job)
 

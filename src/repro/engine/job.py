@@ -95,9 +95,23 @@ class PrefetcherSpec:
 class SimJob:
     """One unit of simulation work, identified by its content.
 
-    ``params`` carries kind-specific knobs (``skip_fraction`` for joint
-    analysis, ``warmup_fraction`` for timing, ``max_elements`` for
-    repetition) as sorted ``(name, value)`` pairs.
+    A job is pure data — executable anywhere, by any process, with a
+    bit-identical result. Fractional knobs (``skip_fraction``,
+    ``warmup_fraction``) are resolved against the *requested* ``length``
+    at execution time, so streaming and materialized runs agree without
+    either needing the generated trace's exact final length.
+
+    Attributes:
+        kind: one of :data:`JOB_KINDS` (what to compute).
+        workload: name from the ten-workload suite.
+        length: requested trace length in accesses (generators may
+            overshoot by up to one burst).
+        seed: trace-generation seed.
+        system: full system configuration the job runs under.
+        prefetcher: declarative predictor choice, or None for baseline.
+        params: kind-specific knobs (``skip_fraction`` for joint
+            analysis, ``warmup_fraction`` for timing, ``max_elements``
+            for repetition) as sorted ``(name, value)`` pairs.
     """
 
     kind: str
@@ -124,6 +138,20 @@ class SimJob:
         prefetcher: Optional[PrefetcherSpec] = None,
         **params: Any,
     ) -> "SimJob":
+        """Build a job with ``params`` canonicalized into sorted pairs.
+
+        Args:
+            kind: one of :data:`JOB_KINDS`.
+            workload: workload name.
+            length: requested trace length in accesses.
+            seed: trace-generation seed.
+            system: system configuration.
+            prefetcher: predictor spec, or None for the baseline.
+            **params: kind-specific knobs, stored sorted by name.
+
+        Returns:
+            The frozen, hashable job description.
+        """
         return SimJob(
             kind=kind,
             workload=workload,
@@ -135,6 +163,7 @@ class SimJob:
         )
 
     def param(self, name: str, default: Any = None) -> Any:
+        """The kind-specific knob ``name``, or ``default`` if unset."""
         for key, value in self.params:
             if key == name:
                 return value

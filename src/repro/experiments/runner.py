@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="neither read nor write the result cache",
     )
+    engine_group.add_argument(
+        "--materialize", action="store_true",
+        help="compatibility mode: generate each trace into memory "
+        "(per-process memo) instead of streaming it; results are "
+        "bit-identical, but peak memory grows with trace length",
+    )
     export_group = parser.add_argument_group("export")
     export_group.add_argument(
         "--export", choices=("json", "csv"), default=None,
@@ -130,6 +136,7 @@ def make_engine(args: argparse.Namespace) -> Engine:
     return Engine(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
+        materialize=True if args.materialize else None,
     )
 
 

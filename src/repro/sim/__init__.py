@@ -1,7 +1,19 @@
-"""Simulation: the coverage driver and the analytical timing model."""
+"""Simulation: the coverage driver and the analytical timing model.
+
+The driver and the incremental :class:`TimingModel` share one streaming
+walk of the trace (``SimulationDriver(..., service_consumer=model)``);
+:func:`simulate_timing` is the materialized convenience wrapper over a
+recorded service list.
+"""
 
 from repro.sim.driver import SimulationDriver
 from repro.sim.results import CoverageResult, TimingResult
-from repro.sim.timing import simulate_timing
+from repro.sim.timing import TimingModel, simulate_timing
 
-__all__ = ["SimulationDriver", "CoverageResult", "TimingResult", "simulate_timing"]
+__all__ = [
+    "SimulationDriver",
+    "CoverageResult",
+    "TimingResult",
+    "TimingModel",
+    "simulate_timing",
+]

@@ -12,11 +12,18 @@ semantics for SMS, and classifies every read access:
 
 Prefetch requests for blocks already on chip (L1, L2 or SVB) are dropped
 without cost: they would not generate an off-chip fetch.
+
+The driver is the single walk of the trace: it accepts a materialized
+:class:`Trace` or a lazy :class:`TraceSource` and, instead of recording
+the per-access service classification into a list, can feed it directly
+to a ``service_consumer`` (the incremental
+:class:`~repro.sim.timing.TimingModel`) — which is how a coverage +
+timing job runs end to end in O(1) memory.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Protocol, Tuple
 
 from repro.common.config import SystemConfig
 from repro.memsys.hierarchy import Hierarchy, ServiceLevel
@@ -34,18 +41,39 @@ from repro.trace.container import Trace, TraceLike
 from repro.trace.events import MemoryAccess
 
 
+class ServiceConsumer(Protocol):
+    """Anything that consumes the per-access service classification."""
+
+    def update(self, access: MemoryAccess, service_class: str) -> None:
+        """Observe one classified access, in trace order."""
+
+
 class SimulationDriver:
-    """Runs one prefetcher over one trace and accounts coverage."""
+    """Runs one prefetcher over one trace and accounts coverage.
+
+    Args:
+        system: cache/SVB geometry and timing parameters.
+        prefetcher: the predictor under test, or None for the baseline.
+        record_service: materialize the per-access service classification
+            into ``result.service`` (O(trace) memory; only needed when a
+            separate timing pass will replay it).
+        service_consumer: incremental sink fed ``(access, service_class)``
+            during the walk — the streaming alternative to
+            ``record_service`` (the driver does not call its
+            ``finalize()``; the caller owns the consumer's lifecycle).
+    """
 
     def __init__(
         self,
         system: SystemConfig,
         prefetcher: Optional[Prefetcher] = None,
         record_service: bool = False,
+        service_consumer: Optional[ServiceConsumer] = None,
     ) -> None:
         self.system = system
         self.prefetcher = prefetcher
         self.record_service = record_service
+        self.service_consumer = service_consumer
 
     def run(self, trace: TraceLike) -> CoverageResult:
         """Walk ``trace`` (materialized or streaming) through the system.
@@ -82,6 +110,8 @@ class SimulationDriver:
         hier_present = hierarchy.present
         hier_install = hierarchy.install_prefetch
         service_append = service.append if service is not None else None
+        consumer = self.service_consumer
+        consumer_update = consumer.update if consumer is not None else None
         on_access = prefetcher.on_access if prefetcher is not None else None
         pop_requests = prefetcher.pop_requests if prefetcher is not None else None
         on_l1_eviction = (
@@ -138,6 +168,8 @@ class SimulationDriver:
                     klass = SERVICE_MEMORY
             if service_append is not None:
                 service_append(klass)
+            if consumer_update is not None:
+                consumer_update(access, klass)
 
             if outcome.l1_unused_prefetch_evicted:
                 overpredictions_local += 1

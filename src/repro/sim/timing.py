@@ -18,12 +18,23 @@ effects that determine prefetching speedup shape (DESIGN.md §4):
 Covered accesses cost the SVB hit latency (or the L1 latency for
 L1-installed prefetches): prefetches are assumed timely, consistent with
 the coverage driver's definition of a covered miss.
+
+The model is an incremental consumer: :class:`TimingModel` takes one
+``(access, service_class)`` pair at a time, so the coverage driver can
+feed it while walking a streaming :class:`~repro.trace.container.TraceSource`
+— no trace or service list is ever materialized. Completion times of
+accesses are retained only while they can still matter (an access whose
+completion is at or before the current clock can never delay a later
+dependent access), so peak memory is bounded by the in-flight window,
+not by trace length. :func:`simulate_timing` is the materialized
+convenience wrapper and produces bit-identical results by construction.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.common.config import TimingConfig
 from repro.sim.results import (
@@ -36,6 +47,7 @@ from repro.sim.results import (
     TimingResult,
 )
 from repro.trace.container import Trace
+from repro.trace.events import MemoryAccess
 
 
 def _latency_table(config: TimingConfig) -> Dict[str, int]:
@@ -48,6 +60,149 @@ def _latency_table(config: TimingConfig) -> Dict[str, int]:
     }
 
 
+class TimingModel:
+    """Incremental ROB/MLP timing model over a classified access stream.
+
+    Feed every access (with the service class the coverage driver
+    assigned it) through :meth:`update`, then call :meth:`finalize` for
+    the :class:`TimingResult`. The model keeps O(1) state with respect
+    to trace length: the reorder buffer is bounded by
+    ``max_outstanding_misses``, and per-access completion times are
+    discarded as soon as the clock passes them (a completed access can
+    never stall a later dependent one).
+
+    Args:
+        config: latency/width/window parameters of the modelled core.
+        workload: name stamped on the result.
+        prefetcher_name: predictor label stamped on the result.
+        measure_from: number of leading accesses whose cycles and
+            instructions are excluded from the reported totals — the
+            paper measures from checkpoints with warmed predictor state
+            (§5.1), so performance comparisons skip the cold prefix.
+    """
+
+    def __init__(
+        self,
+        config: TimingConfig = TimingConfig(),
+        *,
+        workload: str = "",
+        prefetcher_name: str = "none",
+        measure_from: int = 0,
+    ) -> None:
+        if measure_from < 0:
+            raise ValueError(f"measure_from must be >= 0, got {measure_from}")
+        self.config = config
+        self.workload = workload
+        self.prefetcher_name = prefetcher_name
+        self.measure_from = measure_from
+        self._latency = _latency_table(config)
+        #: completion time per still-relevant access index (in-flight only)
+        self._completion: Dict[int, float] = {}
+        #: min-heap of (completion, index) driving the pruning above
+        self._inflight: list = []
+        self._rob: "deque[tuple[float, int]]" = deque()
+        self._t = 0.0
+        self._instr_pos = 0
+        self._instructions = 0
+        self._stall = 0.0
+        self._warmup_cycles = 0.0
+        self._warmup_instructions = 0
+        self._count = 0
+        self._last_done = 0.0
+        self._finalized = False
+
+    def update(self, access: MemoryAccess, service_class: str) -> None:
+        """Advance the model by one classified access.
+
+        Args:
+            access: the next trace record, in trace order.
+            service_class: the driver's service classification for it
+                (one of the ``SERVICE_*`` constants).
+
+        Raises:
+            RuntimeError: if the model has already been finalized.
+        """
+        if self._finalized:
+            raise RuntimeError("TimingModel.update() called after finalize()")
+        config = self.config
+        i = self._count
+        if i == self.measure_from:
+            self._warmup_cycles = self._t
+            self._warmup_instructions = self._instructions
+        instr_gap = access.instr_gap
+        instr_pos = self._instr_pos + instr_gap
+        self._instructions += instr_gap
+        t = self._t + instr_gap / config.issue_width
+
+        # retire completed misses
+        rob = self._rob
+        while rob and rob[0][0] <= t:
+            rob.popleft()
+        # reorder-window limit: the oldest incomplete miss blocks issue
+        # once the front has run rob_window instructions past it
+        while rob and instr_pos - rob[0][1] > config.rob_window:
+            stalled_until = rob.popleft()[0]
+            if stalled_until > t:
+                self._stall += stalled_until - t
+                t = stalled_until
+
+        # forget completions the clock has passed: a dependent access
+        # starting at or after t can no longer be delayed by them
+        completion = self._completion
+        inflight = self._inflight
+        while inflight and inflight[0][0] <= t:
+            completion.pop(heapq.heappop(inflight)[1], None)
+
+        lat = self._latency[service_class]
+        start = t
+        dep = access.depends_on
+        if dep is not None:
+            dep_done = completion.get(dep)
+            if dep_done is not None and dep_done > start:
+                start = dep_done  # stall-on-use: pointer chase
+        done = start + lat
+        completion[i] = done
+        heapq.heappush(inflight, (done, i))
+        self._last_done = done
+
+        if lat >= config.memory_latency:
+            rob.append((done, instr_pos))
+            if len(rob) > config.max_outstanding_misses:
+                stalled_until = rob.popleft()[0]
+                if stalled_until > t:
+                    self._stall += stalled_until - t
+                    t = stalled_until
+
+        self._t = t
+        self._instr_pos = instr_pos
+        self._count = i + 1
+
+    def finalize(self) -> TimingResult:
+        """Close the stream and return the :class:`TimingResult`.
+
+        Returns:
+            Cycle/instruction totals with the warm-up prefix excluded.
+
+        Raises:
+            RuntimeError: if called twice.
+        """
+        if self._finalized:
+            raise RuntimeError("TimingModel.finalize() called twice")
+        self._finalized = True
+        cycles = self._t
+        if self._rob:
+            cycles = max(cycles, max(done for done, _ in self._rob))
+        if self._count:
+            cycles = max(cycles, self._last_done)
+        return TimingResult(
+            workload=self.workload,
+            prefetcher=self.prefetcher_name,
+            cycles=max(0.0, cycles - self._warmup_cycles),
+            instructions=self._instructions - self._warmup_instructions,
+            memory_stall_cycles=self._stall,
+        )
+
+
 def simulate_timing(
     trace: Trace,
     service: Sequence[str],
@@ -58,76 +213,30 @@ def simulate_timing(
     """Estimate execution cycles for ``trace`` under the recorded service
     classification (produced by a driver run with ``record_service=True``).
 
-    ``measure_from`` excludes the first N accesses from the reported cycle
-    and instruction counts — the paper measures from checkpoints with
-    warmed predictor state (§5.1), so performance comparisons should skip
-    the cold training prefix.
+    This is the materialized-inputs wrapper around :class:`TimingModel`;
+    streaming runs feed the model directly from the driver and never
+    build ``service``. ``measure_from`` excludes the first N accesses
+    from the reported cycle and instruction counts (see
+    :class:`TimingModel`).
     """
-    if len(service) != len(trace):
+    n = len(trace)
+    if len(service) != n:
         raise ValueError(
             f"service classification length {len(service)} does not match "
-            f"trace length {len(trace)}"
+            f"trace length {n}"
         )
-    if not 0 <= measure_from <= len(trace):
+    if not 0 <= measure_from <= n:
         raise ValueError(f"measure_from {measure_from} out of range")
-    latency = _latency_table(config)
-    n = len(trace)
-    completion: List[float] = [0.0] * n
-    rob: "deque[tuple[float, int]]" = deque()  # (completion, instr position)
-    t = 0.0
-    instr_pos = 0
-    instructions = 0
-    stall = 0.0
-    warmup_cycles = 0.0
-    warmup_instructions = 0
-
-    for i, access in enumerate(trace):
-        if i == measure_from:
-            warmup_cycles = t
-            warmup_instructions = instructions
-        instr_pos += access.instr_gap
-        instructions += access.instr_gap
-        t += access.instr_gap / config.issue_width
-
-        # retire completed misses
-        while rob and rob[0][0] <= t:
-            rob.popleft()
-        # reorder-window limit: the oldest incomplete miss blocks issue
-        # once the front has run rob_window instructions past it
-        while rob and instr_pos - rob[0][1] > config.rob_window:
-            stalled_until = rob.popleft()[0]
-            if stalled_until > t:
-                stall += stalled_until - t
-                t = stalled_until
-
-        lat = latency[service[i]]
-        start = t
-        dep = access.depends_on
-        if dep is not None and completion[dep] > start:
-            start = completion[dep]  # stall-on-use: pointer chase
-        done = start + lat
-        completion[i] = done
-
-        if lat >= config.memory_latency:
-            rob.append((done, instr_pos))
-            if len(rob) > config.max_outstanding_misses:
-                stalled_until = rob.popleft()[0]
-                if stalled_until > t:
-                    stall += stalled_until - t
-                    t = stalled_until
-
-    cycles = t
-    if rob:
-        cycles = max(cycles, max(done for done, _ in rob))
-    if n:
-        cycles = max(cycles, completion[n - 1])
-    return TimingResult(
+    model = TimingModel(
+        config,
         workload=trace.name,
-        prefetcher=prefetcher_name,
-        cycles=max(0.0, cycles - warmup_cycles),
-        instructions=instructions - warmup_instructions,
-        memory_stall_cycles=stall,
+        prefetcher_name=prefetcher_name,
+        measure_from=measure_from,
     )
+    update = model.update
+    for access, klass in zip(trace, service):
+        update(access, klass)
+    return model.finalize()
 
 
 def timing_from_coverage(

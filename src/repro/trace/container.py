@@ -3,10 +3,14 @@
 :class:`Trace` is an ordered in-memory collection of MemoryAccess records
 plus metadata (workload name, category, generation parameters) and
 persistence. :class:`TraceSource` is its lazy counterpart — the same
-metadata plus a factory that yields accesses on demand, so the coverage
-driver can walk arbitrarily long traces in O(1) memory. Consumers that
-need random access or ``len()`` (the timing model, the analyses) call
-``materialize()``, which is the identity on a :class:`Trace`.
+metadata plus a factory that yields accesses on demand, so the whole
+pipeline (coverage driver, incremental timing model, streaming analyses)
+can walk arbitrarily long traces in O(1) memory. ``materialize()`` —
+the identity on a :class:`Trace` — drains a source into memory; the
+engine only does that behind its explicit compatibility flag, and the
+few consumers that genuinely need random access or ``len()``
+(``simulate_timing`` over a recorded service list, trace persistence)
+take a :class:`Trace` directly.
 """
 
 from __future__ import annotations
@@ -119,6 +123,17 @@ class TraceSource:
     deterministic generator (seeded workload, file reader) can be walked
     repeatedly and always replays the same access sequence. The factory
     must yield accesses with consecutive indices starting at 0.
+
+    Args:
+        name: workload name carried into every result produced from this
+            source.
+        factory: zero-argument callable returning a fresh access
+            iterable; invoked once per ``iter()`` pass.
+        category: workload category label (``web``/``oltp``/...).
+        metadata: provenance attached to materialized copies.
+        length_hint: the *requested* access count, when known. A hint
+            only — generators may overshoot by up to one burst — so
+            consumers must not treat it as ``len()``.
     """
 
     def __init__(
@@ -136,10 +151,21 @@ class TraceSource:
         self._factory = factory
 
     def __iter__(self) -> Iterator[MemoryAccess]:
+        """A fresh single-pass iterator over the access sequence."""
         return iter(self._factory())
 
     def materialize(self) -> Trace:
-        """Drain the source into an in-memory :class:`Trace`."""
+        """Drain the source into an in-memory :class:`Trace`.
+
+        This is the O(trace)-memory escape hatch: the engine streams by
+        default and only materializes behind its compatibility flag.
+
+        Returns:
+            A :class:`Trace` holding every access the factory yields.
+
+        Raises:
+            ValueError: if the factory yields non-consecutive indices.
+        """
         trace = Trace(
             name=self.name,
             category=self.category,

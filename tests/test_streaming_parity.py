@@ -1,0 +1,172 @@
+"""Streaming/materialized parity and the analysis lifecycle contract.
+
+The engine's streaming path must be a pure memory optimization: every
+experiment's results are bit-identical whether jobs walk a lazy
+``TraceSource`` or a materialized ``Trace``, and the streaming path must
+never materialize at all. The incremental consumers additionally enforce
+their ``update()``/``finalize()`` lifecycle.
+"""
+
+import pytest
+
+from repro.analysis import (
+    CorrelationDistanceAnalysis,
+    JointPredictabilityAnalysis,
+    MissSequenceExtractor,
+    RepetitionAnalysis,
+    Sequitur,
+    StreamLengthAnalysis,
+)
+from repro.common.config import SystemConfig
+from repro.engine import Engine, JobGraph, execute_job
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import EXPERIMENTS
+from repro.sim.timing import TimingModel
+from repro.trace.container import TraceSource
+from repro.workloads.registry import stream_workload
+
+LENGTH = 6_000
+SEED = 11
+
+
+def small_config() -> ExperimentConfig:
+    cfg = ExperimentConfig.small()
+    cfg.trace_length = LENGTH
+    cfg.seed = SEED
+    cfg.workloads = ["db2"]
+    return cfg
+
+
+@pytest.fixture(scope="module")
+def collected_by_mode():
+    """Every experiment collected twice: streamed and materialized.
+
+    One shared graph per mode, exactly like ``all --extended``, so the
+    parity claim covers the deduplicated production execution path.
+    """
+    out = {}
+    for materialize in (False, True):
+        cfg = small_config()
+        graph = JobGraph()
+        plans = {
+            name: module.declare(cfg, graph)
+            for name, module in EXPERIMENTS.items()
+        }
+        results = Engine(materialize=materialize).run(graph)
+        out[materialize] = {
+            name: module.collect(cfg, plans[name], results)
+            for name, module in EXPERIMENTS.items()
+        }
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_bit_identical_across_modes(collected_by_mode, name):
+    assert collected_by_mode[False][name] == collected_by_mode[True][name]
+
+
+class TestStreamingNeverMaterializes:
+    @pytest.mark.parametrize(
+        "kind", ["coverage", "timing", "joint", "repetition", "correlation"]
+    )
+    def test_job_kind(self, kind, monkeypatch):
+        def boom(self):
+            raise AssertionError("streaming path called materialize()")
+
+        monkeypatch.setattr(TraceSource, "materialize", boom)
+        cfg = small_config()
+        cfg.system = SystemConfig.tiny()
+        job = {
+            "coverage": lambda: cfg.coverage_job("db2", "stride"),
+            "timing": lambda: cfg.timing_job("db2", "stride"),
+            "joint": lambda: cfg.joint_job("db2"),
+            "repetition": lambda: cfg.repetition_job("db2"),
+            "correlation": lambda: cfg.correlation_job("db2"),
+        }[kind]()
+        execute_job(job, materialize=False)
+
+
+class TestAnalysisLifecycle:
+    SYSTEM = SystemConfig.tiny()
+
+    def analyses(self):
+        return [
+            JointPredictabilityAnalysis(self.SYSTEM),
+            RepetitionAnalysis(self.SYSTEM, max_elements=100),
+            CorrelationDistanceAnalysis(self.SYSTEM),
+            StreamLengthAnalysis(self.SYSTEM),
+            MissSequenceExtractor(self.SYSTEM),
+        ]
+
+    def first_access(self):
+        return next(iter(stream_workload("db2", 100, seed=SEED)))
+
+    def test_update_after_finalize_rejected(self):
+        access = self.first_access()
+        for analysis in self.analyses():
+            analysis.update(access)
+            analysis.finalize()
+            with pytest.raises(RuntimeError, match="after finalize"):
+                analysis.update(access)
+
+    def test_double_finalize_rejected(self):
+        for analysis in self.analyses():
+            analysis.finalize()
+            with pytest.raises(RuntimeError, match="finalize"):
+                analysis.finalize()
+
+    def test_sequitur_lifecycle(self):
+        s = Sequitur()
+        s.update("a")
+        s.update("b")
+        grammar = s.finalize()
+        assert grammar.expand() == ["a", "b"]
+        with pytest.raises(RuntimeError, match="after finalize"):
+            s.append("c")
+        with pytest.raises(RuntimeError, match="finalize"):
+            s.finalize()
+
+    def test_timing_model_lifecycle(self):
+        access = self.first_access()
+        model = TimingModel(self.SYSTEM.timing)
+        model.update(access, "l1")
+        result = model.finalize()
+        assert result.instructions == access.instr_gap
+        with pytest.raises(RuntimeError, match="after finalize"):
+            model.update(access, "l1")
+        with pytest.raises(RuntimeError, match="finalize"):
+            model.finalize()
+
+    def test_consume_walks_and_finalizes(self):
+        result = CorrelationDistanceAnalysis(self.SYSTEM).consume(
+            stream_workload("db2", 500, seed=SEED)
+        )
+        assert result.total_pairs >= 0
+
+
+class TestTimingModelBoundedState:
+    def test_inflight_state_independent_of_length(self):
+        from repro.sim.driver import SimulationDriver
+
+        peaks = {}
+        for length in (2_000, 16_000):
+            model = TimingModel(self.system().timing, workload="db2")
+            inner = model.update
+            peak = 0
+
+            def probe(access, klass, _inner=inner, _model=model):
+                nonlocal peak
+                _inner(access, klass)
+                peak = max(peak, len(_model._completion))
+
+            model.update = probe
+            SimulationDriver(
+                self.system(), None, service_consumer=model
+            ).run(stream_workload("db2", length, seed=SEED))
+            peaks[length] = peak
+        # 8x the trace, same in-flight window (generous 2x slack)
+        assert peaks[16_000] <= max(64, 2 * peaks[2_000])
+
+    @staticmethod
+    def system() -> SystemConfig:
+        return SystemConfig.tiny()
