@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Trace-plane smoke check: shared traces beat per-job generation.
+
+Declares a two-figure sweep (fig9 coverage + fig10 timing — many jobs
+per workload trace) into one graph and runs it with a shared trace
+store, asserting the sweep's economics:
+
+1. the engine performs **fewer generation passes than executed jobs**
+   (one pass per distinct trace key, fanned out / replayed to the rest);
+2. a second engine over the same store performs **zero** generation
+   passes (pure replay);
+3. both runs' results are **bit-identical** to a no-store engine's.
+
+Used by CI; also runnable by hand::
+
+    python benchmarks/tracestore_smoke.py
+    python benchmarks/tracestore_smoke.py --jobs 2 --length 30000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.engine import Engine, JobGraph  # noqa: E402
+from repro.experiments import fig9, fig10  # noqa: E402
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+
+
+def declare(config: ExperimentConfig) -> JobGraph:
+    graph = JobGraph()
+    fig9.declare(config, graph)
+    fig10.declare(config, graph)
+    return graph
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=20_000,
+                        help="trace length per workload (default: 20k)")
+    parser.add_argument("--workloads", nargs="+", default=["db2", "qry2"],
+                        help="workload subset (default: db2 qry2)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="engine worker processes (default: serial)")
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig.small()
+    config.trace_length = args.length
+    config.workloads = list(args.workloads)
+
+    reference = Engine(jobs=args.jobs).run(declare(config))
+
+    with tempfile.TemporaryDirectory(prefix="repro-traces-") as store_dir:
+        cold = Engine(jobs=args.jobs, trace_store=store_dir)
+        cold_results = cold.run(declare(config))
+        print(f"[cold store] {cold.stats.format()}")
+
+        warm = Engine(jobs=args.jobs, trace_store=store_dir)
+        warm_results = warm.run(declare(config))
+        print(f"[warm store] {warm.stats.format()}")
+
+    failures = []
+    keys = len({(w, config.trace_length, config.seed)
+                for w in config.workloads})
+    if cold.stats.generation_passes >= cold.stats.executed:
+        failures.append(
+            f"cold run generated {cold.stats.generation_passes} traces for "
+            f"{cold.stats.executed} jobs (expected fewer passes than jobs)"
+        )
+    if cold.stats.generation_passes > keys:
+        failures.append(
+            f"cold run generated {cold.stats.generation_passes} traces for "
+            f"{keys} distinct trace keys (expected at most one per key)"
+        )
+    if warm.stats.generation_passes != 0:
+        failures.append(
+            f"warm run generated {warm.stats.generation_passes} traces "
+            f"(expected pure replay)"
+        )
+    if dict(cold_results) != dict(reference):
+        failures.append("cold-store results differ from the no-store run")
+    if dict(warm_results) != dict(reference):
+        failures.append("warm-store results differ from the no-store run")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {cold.stats.executed} jobs over {keys} trace keys ran with "
+        f"{cold.stats.generation_passes} generation passes (then 0 on replay)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

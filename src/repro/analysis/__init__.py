@@ -28,6 +28,8 @@ from repro.analysis.joint import (
     joint_coverage_analysis,
 )
 from repro.analysis.streams import (
+    DEFAULT_HISTORY_LIMIT,
+    GreedyStreamMatcher,
     StreamLengthAnalysis,
     stream_length_analysis,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "correlation_distance_analysis",
     "JointPredictabilityAnalysis",
     "joint_coverage_analysis",
+    "DEFAULT_HISTORY_LIMIT",
+    "GreedyStreamMatcher",
     "StreamLengthAnalysis",
     "stream_length_analysis",
 ]

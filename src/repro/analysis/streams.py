@@ -6,6 +6,16 @@ a stream. This analysis measures that property directly: replaying the
 miss sequence, it greedily matches each miss against the continuation of
 its previous occurrence (with the streaming lookahead tolerance used by
 the Fig. 6 classifier) and records how long each matched run survives.
+
+The matcher is incremental: misses are pushed one at a time and matched
+against a *history window* of recent miss block ids. By default the
+window is bounded (:data:`DEFAULT_HISTORY_LIMIT`), which makes this — the
+pipeline's last formerly O(trace) consumer — O(1) in memory like every
+other streaming analysis; real hardware equally locates streams in a
+finite history buffer (the RMOB), not an unbounded log. Exact unbounded
+matching remains available behind ``exact=True`` / ``history_limit=None``
+and is asserted bit-identical to the bounded mode at tier-1 trace
+lengths (``tests/test_streams_analysis.py``).
 """
 
 from __future__ import annotations
@@ -18,6 +28,11 @@ from repro.analysis.base import HierarchyReplayAnalysis
 from repro.common.config import SystemConfig
 from repro.trace.container import TraceLike
 from repro.trace.events import MemoryAccess
+
+#: bounded-history default: far beyond any tier-1 miss sequence (so
+#: bounded and exact modes agree there) yet fixed, so memory stays O(1)
+#: however long the trace grows
+DEFAULT_HISTORY_LIMIT = 65536
 
 
 @dataclass
@@ -59,10 +74,8 @@ class StreamLengthResult:
         )
 
 
-def stream_lengths_of_sequence(
-    misses: Sequence[int], lookahead: int = 8, tolerance: int = 2
-) -> StreamLengthResult:
-    """Greedy stream matching over a miss-address sequence.
+class GreedyStreamMatcher:
+    """Incremental greedy stream matching over a miss-address sequence.
 
     A stream starts when a miss address has a previous occurrence; it
     continues while subsequent misses appear within ``lookahead``
@@ -71,55 +84,150 @@ def stream_lengths_of_sequence(
     ending the stream — a real stream's SVB blocks stay staged while the
     processor takes an unpredictable detour — after which the stream ends
     and a new one is located from the unmatched address.
+
+    Args:
+        lookahead: match window ahead of the stream cursor.
+        tolerance: consecutive unmatched misses a live stream survives.
+        history_limit: how many recent misses stay matchable. ``None``
+            keeps the full sequence (exact mode, O(misses) memory); a
+            bound keeps memory O(limit) — streams can then neither
+            follow nor relocate into history older than the window, the
+            only behavioural difference, and one that is unobservable
+            while the miss sequence fits inside the window.
     """
-    result = StreamLengthResult(workload="sequence")
-    last_occurrence: Dict[int, int] = {}
-    cursor: Optional[int] = None  # position in history the stream follows
-    current_length = 0
-    unmatched_run = 0
 
-    def close_stream() -> None:
-        nonlocal current_length, unmatched_run
-        if current_length > 0:
-            result.lengths[current_length] += 1
-        current_length = 0
-        unmatched_run = 0
+    def __init__(
+        self,
+        lookahead: int = 8,
+        tolerance: int = 2,
+        history_limit: Optional[int] = None,
+    ) -> None:
+        if history_limit is not None and history_limit <= lookahead:
+            raise ValueError(
+                f"history_limit ({history_limit}) must exceed "
+                f"lookahead ({lookahead})"
+            )
+        self.lookahead = lookahead
+        self.tolerance = tolerance
+        self.history_limit = history_limit
+        self.lengths: Counter = Counter()
+        self._history: List[int] = []
+        self._base = 0  # absolute position of _history[0]
+        self._last_occurrence: Dict[int, int] = {}
+        self._cursor: Optional[int] = None  # absolute position followed
+        self._current_length = 0
+        self._unmatched_run = 0
 
-    for position, block in enumerate(misses):
+    def _close_stream(self) -> None:
+        if self._current_length > 0:
+            self.lengths[self._current_length] += 1
+        self._current_length = 0
+        self._unmatched_run = 0
+
+    def push(self, block: int) -> None:
+        """Observe the next miss block id in sequence order."""
+        history = self._history
+        history.append(block)
+        base = self._base
+        position = base + len(history) - 1
+        cursor = self._cursor
+
         matched = False
-        if cursor is not None:
-            window = misses[cursor:cursor + lookahead]
-            if block in window:
-                offset = window.index(block)
-                cursor += offset + 1
-                current_length += 1
-                unmatched_run = 0
+        # the window may cover the just-pushed position (a relocated
+        # stream can sit right behind the present), which is why the
+        # block is appended to history before matching
+        if cursor is not None and cursor >= base:
+            start = cursor - base
+            try:
+                offset = history.index(block, start, start + self.lookahead)
                 matched = True
+            except ValueError:
+                pass
+            if matched:
+                self._cursor = cursor + (offset - start) + 1
+                self._current_length += 1
+                self._unmatched_run = 0
         if not matched:
-            unmatched_run += 1
-            if cursor is None or unmatched_run > tolerance:
-                close_stream()
-                earlier = last_occurrence.get(block)
-                cursor = earlier + 1 if earlier is not None else None
-        last_occurrence[block] = position
-    close_stream()
+            # a cursor that slid out of the bounded window cannot match;
+            # it rides the tolerance out and relocates like any miss
+            self._unmatched_run += 1
+            if cursor is None or self._unmatched_run > self.tolerance:
+                self._close_stream()
+                earlier = self._last_occurrence.get(block)
+                if earlier is not None and earlier >= base:
+                    self._cursor = earlier + 1
+                else:
+                    self._cursor = None
+        self._last_occurrence[block] = position
+
+        limit = self.history_limit
+        if limit is not None and len(history) > 2 * limit:
+            self._compact(limit)
+
+    def _compact(self, limit: int) -> None:
+        """Drop history beyond the window; purge stale occurrence slots.
+
+        Runs every ``limit`` pushes and costs O(live entries), so the
+        amortized cost per miss is O(1) and both structures stay bounded
+        by ``2 * limit`` regardless of trace length.
+        """
+        drop = len(self._history) - limit
+        del self._history[:drop]
+        self._base += drop
+        base = self._base
+        self._last_occurrence = {
+            block: position
+            for block, position in self._last_occurrence.items()
+            if position >= base
+        }
+
+    def finish(self) -> Counter:
+        """Close any live stream and return the length distribution."""
+        self._close_stream()
+        return self.lengths
+
+
+def stream_lengths_of_sequence(
+    misses: Sequence[int],
+    lookahead: int = 8,
+    tolerance: int = 2,
+    history_limit: Optional[int] = None,
+) -> StreamLengthResult:
+    """Greedy stream matching over an in-memory miss-address sequence.
+
+    Exact (unbounded-history) by default, since the sequence is already
+    materialized; pass ``history_limit`` to bound the matchable window
+    (see :class:`GreedyStreamMatcher`).
+    """
+    matcher = GreedyStreamMatcher(
+        lookahead=lookahead, tolerance=tolerance, history_limit=history_limit
+    )
+    push = matcher.push
+    for block in misses:
+        push(block)
+    result = StreamLengthResult(workload="sequence")
+    result.lengths = matcher.finish()
     return result
 
 
 class StreamLengthAnalysis(HierarchyReplayAnalysis):
     """Incremental §2.1 stream-length analysis over one access stream.
 
-    Collects the off-chip read-miss block sequence while walking the
-    stream, then runs the greedy matcher at :meth:`finalize`. The greedy
-    matcher relocates streams at a miss's arbitrarily old previous
-    occurrence, so — unlike the other analyses — the full miss *block id*
-    sequence is retained (plain ints, a small fraction of the access
-    stream); the trace itself is never materialized.
+    Feeds the off-chip read-miss block sequence straight into a
+    :class:`GreedyStreamMatcher` while walking the stream. With the
+    default bounded history the whole analysis is O(1) in memory —
+    nothing anywhere retains the trace or the full miss sequence;
+    ``exact=True`` (or ``history_limit=None``) restores the unbounded
+    matcher, which retains the miss block ids (plain ints) and is the
+    reference the bounded mode is tested against.
 
     Args:
         system: cache geometry used to identify off-chip misses.
         lookahead: streaming window of the Fig. 6 classifier.
         workload: name stamped on the result.
+        history_limit: matchable miss-history bound (ignored when
+            ``exact``); defaults to :data:`DEFAULT_HISTORY_LIMIT`.
+        exact: keep the full miss history (the pre-bounded behaviour).
     """
 
     def __init__(
@@ -127,22 +235,25 @@ class StreamLengthAnalysis(HierarchyReplayAnalysis):
         system: SystemConfig,
         lookahead: int = 8,
         workload: str = "",
+        history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
+        exact: bool = False,
     ) -> None:
         super().__init__(system, use_agt=False)
         self.workload = workload
         self.lookahead = lookahead
-        self._misses: List[int] = []
+        self._matcher = GreedyStreamMatcher(
+            lookahead=lookahead,
+            history_limit=None if exact else history_limit,
+        )
 
     def _observe(self, access: MemoryAccess, block: int, offchip: bool,
                  generation) -> None:
         if offchip and not access.is_write:
-            self._misses.append(block)
+            self._matcher.push(block)
 
     def _finalize(self) -> StreamLengthResult:
-        result = stream_lengths_of_sequence(
-            self._misses, lookahead=self.lookahead
-        )
-        result.workload = self.workload
+        result = StreamLengthResult(workload=self.workload)
+        result.lengths = self._matcher.finish()
         return result
 
 

@@ -9,16 +9,22 @@ layers:
 * **Graph** (:mod:`repro.engine.graph`) — experiments declare jobs into
   a :class:`JobGraph`, which deduplicates identical work across figures
   (the shared no-prefetcher baselines, for example).
-* **Execution** (:mod:`repro.engine.engine` / :mod:`repro.engine.exec`)
-  — the :class:`Engine` satisfies jobs from an on-disk result cache,
-  then runs the rest serially or over a process pool; results are
-  bit-identical across modes because every job is self-contained.
+* **Execution** (:mod:`repro.engine.engine` / :mod:`repro.engine.exec`
+  / :mod:`repro.engine.fanout`) — the :class:`Engine` satisfies jobs
+  from an on-disk result cache, then runs the rest serially (fanning
+  one trace walk out to every job sharing a
+  :attr:`~repro.engine.job.SimJob.trace_key`) or over a process pool
+  (replaying recorded traces from a
+  :class:`~repro.tracestore.TraceStore` when one is attached); results
+  are bit-identical across modes because every job is self-contained.
 
 Typical use::
 
     graph = JobGraph()
     plan = fig9.declare(config, graph)
-    results = Engine(jobs=4, cache_dir=".repro-cache").run(graph)
+    engine = Engine(jobs=4, cache_dir=".repro-cache",
+                    trace_store=".repro-traces")
+    results = engine.run(graph)
     rows = fig9.collect(config, plan, results)
 """
 
@@ -30,6 +36,7 @@ from repro.engine.exec import (
     job_trace,
     materialized_trace,
 )
+from repro.engine.fanout import job_consumer, run_group
 from repro.engine.graph import JobGraph
 from repro.engine.job import (
     JOB_KINDS,
@@ -58,6 +65,8 @@ __all__ = [
     "SimJob",
     "build_prefetcher",
     "execute_job",
+    "job_consumer",
     "job_trace",
     "materialized_trace",
+    "run_group",
 ]

@@ -8,39 +8,94 @@ a ``ProcessPoolExecutor`` when ``jobs > 1`` — and returns a
 vs deduplicated vs cache-satisfied vs executed jobs so callers can
 surface exactly how much work a run performed (a fully cached invocation
 reports ``executed=0``).
+
+Trace generation is scheduled as a shared resource (the *trace plane*):
+
+* **Serial** runs group pending jobs by
+  :attr:`~repro.engine.job.SimJob.trace_key` and pump one trace walk
+  through every consumer in the group (:mod:`repro.engine.fanout`) — a
+  sweep of N jobs over one key performs exactly one generation pass.
+* With a :class:`~repro.tracestore.TraceStore` attached
+  (``trace_store=DIR`` / ``--trace-store``), that one pass is also
+  recorded to disk, and **parallel** workers replay the recorded trace
+  instead of regenerating it per job — at most one generation plus N
+  replays for N jobs over one key, across any number of invocations.
+
+Results are bit-identical across every mode; only the trace-plane
+accounting in :class:`EngineStats` differs.
 """
 
 from __future__ import annotations
 
 import sys
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.engine.cache import ResultCache
-from repro.engine.exec import execute_job, execute_job_with_hash
+from repro.engine.exec import (
+    default_materialize,
+    execute_job,
+    execute_job_for_pool,
+    record_trace_for_pool,
+)
+from repro.engine.fanout import run_group
 from repro.engine.graph import JobGraph
 from repro.engine.job import SimJob
+from repro.tracestore import TraceStore
+from repro.workloads.registry import stream_workload
 
 
 @dataclass
 class EngineStats:
-    """Work accounting for one engine (accumulated across run() calls)."""
+    """Work accounting for one engine (accumulated across run() calls).
+
+    Beyond the job counters, the trace-plane counters expose how much
+    generation work the fan-out scheduler and trace store avoided:
+    ``generation_passes`` counts actual workload-generator walks,
+    ``passes_saved`` counts executed jobs that did *not* need their own
+    generation pass (fed by fan-out or a store replay), and
+    ``store_hits`` / ``store_misses`` / ``bytes_replayed`` account the
+    trace store itself. The materialize compatibility mode bypasses the
+    trace plane, so these stay zero there.
+    """
 
     requested: int = 0
     deduplicated: int = 0
     cache_hits: int = 0
     executed: int = 0
+    generation_passes: int = 0
+    passes_saved: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    bytes_replayed: int = 0
+
+    def absorb_trace_stats(self, delta: Dict[str, int]) -> None:
+        """Fold a trace-store accounting delta (worker or store handle) in."""
+        self.store_hits += delta.get("hits", 0)
+        self.store_misses += delta.get("misses", 0)
+        self.generation_passes += delta.get("generated", 0)
+        self.bytes_replayed += delta.get("bytes_replayed", 0)
 
     def format(self) -> str:
         unique = self.requested - self.deduplicated
-        return (
+        text = (
             f"engine: {self.requested} jobs requested, "
             f"{self.deduplicated} deduplicated, {unique} unique, "
-            f"{self.cache_hits} cache hits, {self.executed} simulated"
+            f"{self.cache_hits} cache hits, {self.executed} simulated; "
+            f"traces: {self.generation_passes} generated, "
+            f"{self.passes_saved} passes saved"
         )
+        if self.store_hits or self.store_misses or self.bytes_replayed:
+            text += (
+                f", store {self.store_hits} hits / "
+                f"{self.store_misses} misses, "
+                f"{self.bytes_replayed} bytes replayed"
+            )
+        return text
 
 
 class ResultMap(Dict[str, Any]):
@@ -69,6 +124,10 @@ class Engine:
             results are bit-identical either way, but streaming keeps
             peak memory independent of trace length. None defers to the
             ``REPRO_MATERIALIZE`` environment variable.
+        trace_store: directory (or :class:`TraceStore`) for the shared
+            trace plane — traces are recorded once and replayed by every
+            job and worker that shares the trace key. None keeps traces
+            in-process only (serial fan-out still shares walks).
     """
 
     def __init__(
@@ -77,12 +136,16 @@ class Engine:
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
         materialize: Optional[bool] = None,
+        trace_store: Optional[Union[str, Path, TraceStore]] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if (cache_dir and use_cache) else None
         )
         self.materialize = materialize
+        if trace_store is not None and not isinstance(trace_store, TraceStore):
+            trace_store = TraceStore(trace_store)
+        self.trace_store: Optional[TraceStore] = trace_store
         self.stats = EngineStats()
 
     def run(self, graph: JobGraph) -> ResultMap:
@@ -115,20 +178,114 @@ class Engine:
         return results
 
     def _execute(self, pending: "list[SimJob]") -> Iterable["tuple[SimJob, Any]"]:
-        if self.jobs == 1 or len(pending) == 1:
+        materialize = (
+            self.materialize
+            if self.materialize is not None
+            else default_materialize()
+        )
+        if self.jobs > 1 and len(pending) > 1:
+            yield from self._execute_parallel(pending, materialize)
+        else:
+            yield from self._execute_serial(pending, materialize)
+
+    # -- serial: fan one trace walk out to every job sharing its key -------
+
+    def _execute_serial(
+        self, pending: "list[SimJob]", materialize: bool
+    ) -> Iterable["tuple[SimJob, Any]"]:
+        if materialize:
+            # compatibility mode: the per-process trace memo already
+            # shares generation; bypass the trace plane entirely
             for job in pending:
-                yield job, execute_job(job, self.materialize)
+                yield job, execute_job(job, True)
             return
-        # group-by-trace scheduling: keep jobs that share a generated
-        # trace adjacent so reused pool workers hit their trace memo
-        # (materialize mode) or at least their OS page cache (streaming)
+        stats = self.stats
+        for key, group in _grouped_by_trace_key(pending).items():
+            accesses, generated = self._serial_pass(key)
+            stats.generation_passes += generated
+            stats.passes_saved += len(group) - generated
+            yield from run_group(group, accesses)
+
+    def _serial_pass(self, key) -> "tuple[Iterable, int]":
+        """One access pass for ``key`` plus its generation-pass cost.
+
+        With a store: replay a recorded entry (cost 0) or record during
+        the walk (cost 1, and the entry is published for later runs and
+        workers). Without: a plain generation pass (cost 1).
+        """
+        store = self.trace_store
+        if store is None:
+            return stream_workload(*key), 1
+        before = store.stats.as_dict()
+        source = store.source(key)
+        generated = 0 if store.stats.hits > before["hits"] else 1
+        # fold replay/recording accounting in after the walk completes,
+        # so bytes_replayed from the lazy iteration are captured
+        return _accounted(source, store, before, self.stats, generated), generated
+
+    # -- parallel: record once, replay per worker ---------------------------
+
+    def _execute_parallel(
+        self, pending: "list[SimJob]", materialize: bool
+    ) -> Iterable["tuple[SimJob, Any]"]:
+        # group-by-trace scheduling: keep jobs that share a trace
+        # adjacent so reused pool workers hit their trace memo
+        # (materialize mode) or the store's OS page cache (replay)
         ordered = sorted(pending, key=lambda j: (j.trace_key, j.job_hash))
         by_hash = {job.job_hash: job for job in ordered}
+        store = self.trace_store
+        store_dir: Optional[str] = None
+        if store is not None and not materialize:
+            store_dir = str(store.directory)
         workers = min(self.jobs, len(ordered))
-        run_job = partial(execute_job_with_hash, materialize=self.materialize)
+        run_job = partial(
+            execute_job_for_pool,
+            materialize=self.materialize,
+            trace_store_dir=store_dir,
+        )
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for job_hash, result in pool.map(run_job, ordered, chunksize=1):
+            if store_dir is not None:
+                # record each distinct missing trace exactly once, fanned
+                # across the pool, before any job runs — jobs then replay
+                missing = [
+                    key
+                    for key in OrderedDict.fromkeys(
+                        job.trace_key for job in ordered
+                    )
+                    if not store.has(key)
+                ]
+                record = partial(record_trace_for_pool, store_dir)
+                for delta in pool.map(record, missing):
+                    self.stats.absorb_trace_stats(delta)
+            for job_hash, result, delta in pool.map(run_job, ordered, chunksize=1):
+                self.stats.absorb_trace_stats(delta)
+                if not materialize:
+                    self.stats.passes_saved += 1 - delta.get("generated", 0)
                 yield by_hash[job_hash], result
 
     def report(self, stream=sys.stderr) -> None:
         print(f"[{self.stats.format()}]", file=stream)
+
+
+def _grouped_by_trace_key(
+    pending: "list[SimJob]",
+) -> "OrderedDict[tuple, List[SimJob]]":
+    groups: "OrderedDict[tuple, List[SimJob]]" = OrderedDict()
+    for job in pending:
+        groups.setdefault(job.trace_key, []).append(job)
+    return groups
+
+
+def _stats_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    return {name: after[name] - before[name] for name in after}
+
+
+def _accounted(source, store: TraceStore, before: Dict[str, int],
+               stats: EngineStats, generated: int):
+    """Iterate ``source`` once, then fold the store's accounting delta
+    (minus the generation passes the engine already counted) into
+    ``stats``."""
+    yield from source
+    delta = _stats_delta(store.stats.as_dict(), before)
+    delta["generated"] -= generated
+    stats.absorb_trace_stats(delta)

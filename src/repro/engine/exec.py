@@ -13,6 +13,11 @@ accesses flow straight into the coverage driver / analysis consumers and
 are garbage the moment they are processed. A timing job shares one walk
 between coverage classification and the incremental
 :class:`~repro.sim.timing.TimingModel` — no trace, no service list.
+When a :class:`~repro.tracestore.TraceStore` is supplied, the source
+replays the recorded binary trace (or records it during the first walk)
+instead of regenerating it — same sequence, same results, no generator
+cost; :func:`execute_job_for_pool` is the worker entry that also
+returns the replay/recording accounting to the parent engine.
 
 The **materialize compatibility flag** (``execute_job(job,
 materialize=True)``, ``Engine(materialize=True)``, CLI
@@ -30,7 +35,11 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Any, Callable, Dict, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tracestore import TraceStore
 
 from repro.analysis.correlation import CorrelationDistanceAnalysis
 from repro.analysis.joint import JointPredictabilityAnalysis
@@ -100,11 +109,21 @@ def clear_trace_memo() -> None:
     _TRACE_MEMO.clear()
 
 
-def job_trace(job: SimJob, materialize: bool) -> TraceLike:
-    """The trace a job walks: a lazy source, or the memoized in-memory
-    trace when the materialize compatibility flag is set."""
+def job_trace(
+    job: SimJob, materialize: bool, trace_store: Optional["TraceStore"] = None
+) -> TraceLike:
+    """The trace a job walks.
+
+    Precedence: the memoized in-memory trace when the materialize
+    compatibility flag is set; otherwise a :class:`TraceStore` source
+    when a store is supplied (replay if recorded, record-during-walk if
+    not); otherwise a fresh streaming generation pass. All three yield
+    the identical access sequence for a given trace key.
+    """
     if materialize:
         return materialized_trace(job.workload, job.length, job.seed)
+    if trace_store is not None:
+        return trace_store.source(job.trace_key)
     return stream_workload(job.workload, job.length, job.seed)
 
 
@@ -156,6 +175,46 @@ def build_prefetcher(
     return main
 
 
+def timing_model_for_job(job: SimJob) -> TimingModel:
+    """The incremental ROB/MLP model a timing job's walk feeds."""
+    warm = int(job.length * float(job.param("warmup_fraction", 0.0)))
+    return TimingModel(
+        job.system.timing,
+        workload=job.workload,
+        prefetcher_name=job.prefetcher.kind if job.prefetcher else "none",
+        measure_from=warm,
+    )
+
+
+def analysis_for_job(job: SimJob) -> Any:
+    """The :class:`StreamingAnalysis` consumer for an analysis-kind job.
+
+    Shared by the solo execution path (which drives ``consume(trace)``)
+    and the fan-out scheduler (which pushes ``update(access)`` from a
+    shared walk) so both construct identical analysis state.
+    """
+    if job.kind == KIND_JOINT:
+        skip = float(job.param("skip_fraction", 0.0))
+        if not 0.0 <= skip < 1.0:
+            raise ValueError(f"skip_fraction must be in [0, 1), got {skip}")
+        return JointPredictabilityAnalysis(
+            job.system,
+            measure_from=int(job.length * skip),
+            workload=job.workload,
+        )
+    if job.kind == KIND_REPETITION:
+        return RepetitionAnalysis(
+            job.system,
+            max_elements=int(job.param("max_elements", 60000)),
+            workload=job.workload,
+        )
+    if job.kind == KIND_CORRELATION:
+        return CorrelationDistanceAnalysis(
+            job.system, workload=job.workload
+        )
+    raise ValueError(f"job kind {job.kind!r} is not an analysis kind")
+
+
 def _run_coverage(job: SimJob, trace: TraceLike) -> Any:
     prefetcher = build_prefetcher(job.prefetcher, job.workload)
     return SimulationDriver(job.system, prefetcher).run(trace)
@@ -165,52 +224,29 @@ def _run_timing(job: SimJob, trace: TraceLike) -> Any:
     # one shared walk: the driver classifies each access and feeds the
     # incremental timing model in the same pass (no service list)
     prefetcher = build_prefetcher(job.prefetcher, job.workload)
-    warm = int(job.length * float(job.param("warmup_fraction", 0.0)))
-    model = TimingModel(
-        job.system.timing,
-        workload=job.workload,
-        prefetcher_name=job.prefetcher.kind if job.prefetcher else "none",
-        measure_from=warm,
-    )
+    model = timing_model_for_job(job)
     SimulationDriver(job.system, prefetcher, service_consumer=model).run(trace)
     return model.finalize()
 
 
-def _run_joint(job: SimJob, trace: TraceLike) -> Any:
-    skip = float(job.param("skip_fraction", 0.0))
-    if not 0.0 <= skip < 1.0:
-        raise ValueError(f"skip_fraction must be in [0, 1), got {skip}")
-    return JointPredictabilityAnalysis(
-        job.system,
-        measure_from=int(job.length * skip),
-        workload=job.workload,
-    ).consume(trace)
-
-
-def _run_repetition(job: SimJob, trace: TraceLike) -> Any:
-    return RepetitionAnalysis(
-        job.system,
-        max_elements=int(job.param("max_elements", 60000)),
-        workload=job.workload,
-    ).consume(trace)
-
-
-def _run_correlation(job: SimJob, trace: TraceLike) -> Any:
-    return CorrelationDistanceAnalysis(
-        job.system, workload=job.workload
-    ).consume(trace)
+def _run_analysis(job: SimJob, trace: TraceLike) -> Any:
+    return analysis_for_job(job).consume(trace)
 
 
 _EXECUTORS: Dict[str, Callable[[SimJob, TraceLike], Any]] = {
     KIND_COVERAGE: _run_coverage,
     KIND_TIMING: _run_timing,
-    KIND_JOINT: _run_joint,
-    KIND_REPETITION: _run_repetition,
-    KIND_CORRELATION: _run_correlation,
+    KIND_JOINT: _run_analysis,
+    KIND_REPETITION: _run_analysis,
+    KIND_CORRELATION: _run_analysis,
 }
 
 
-def execute_job(job: SimJob, materialize: Optional[bool] = None) -> Any:
+def execute_job(
+    job: SimJob,
+    materialize: Optional[bool] = None,
+    trace_store: Optional["TraceStore"] = None,
+) -> Any:
     """Run one job to completion and return its result dataclass.
 
     Args:
@@ -218,14 +254,17 @@ def execute_job(job: SimJob, materialize: Optional[bool] = None) -> Any:
         materialize: compatibility flag — True walks a memoized in-memory
             trace instead of a streaming source; None (default) defers to
             the ``REPRO_MATERIALIZE`` environment variable.
+        trace_store: when given (and not materializing), the job's trace
+            is replayed from — or recorded into — this on-disk store
+            instead of being regenerated.
 
     Returns:
-        The kind-specific result dataclass; bit-identical across both
+        The kind-specific result dataclass; bit-identical across all
         trace modes, serial/parallel execution and cache round-trips.
     """
     if materialize is None:
         materialize = default_materialize()
-    return _EXECUTORS[job.kind](job, job_trace(job, materialize))
+    return _EXECUTORS[job.kind](job, job_trace(job, materialize, trace_store))
 
 
 def execute_job_with_hash(
@@ -233,3 +272,49 @@ def execute_job_with_hash(
 ) -> "tuple[str, Any]":
     """Pool-friendly wrapper: pairs the result with the job's hash."""
     return job.job_hash, execute_job(job, materialize)
+
+
+def execute_job_for_pool(
+    job: SimJob,
+    materialize: Optional[bool] = None,
+    trace_store_dir: Optional[Union[str, Path]] = None,
+) -> Tuple[str, Any, Dict[str, int]]:
+    """Worker-side entry: result plus the trace-plane accounting delta.
+
+    Opens a per-call :class:`TraceStore` handle when a directory is
+    given, so its stats are exactly this job's replay/recording work;
+    the parent engine folds the returned dict into its
+    :class:`~repro.engine.engine.EngineStats`.
+    """
+    if materialize is None:
+        materialize = default_materialize()
+    store = None
+    if trace_store_dir is not None and not materialize:
+        from repro.tracestore import TraceStore
+
+        store = TraceStore(trace_store_dir)
+    result = execute_job(job, materialize, store)
+    if store is not None:
+        stats = store.stats.as_dict()
+    elif materialize:
+        stats = {}
+    else:
+        stats = {"generated": 1}
+    return job.job_hash, result, stats
+
+
+def record_trace_for_pool(
+    trace_store_dir: Union[str, Path], key: "tuple[str, int, int]"
+) -> Dict[str, int]:
+    """Worker-side trace recording: generate ``key`` into the store.
+
+    Lets a cold parallel run record its distinct trace keys across the
+    pool instead of one after another in the parent; returns the
+    accounting delta (idempotent — a key another worker already
+    published costs nothing and reports nothing).
+    """
+    from repro.tracestore import TraceStore
+
+    store = TraceStore(trace_store_dir)
+    store.record(tuple(key))
+    return store.stats.as_dict()

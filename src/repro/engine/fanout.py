@@ -1,0 +1,112 @@
+"""Multi-consumer fan-out: one trace walk feeds many jobs at once.
+
+Jobs that share a :attr:`~repro.engine.job.SimJob.trace_key` walk the
+identical generated access sequence, so running them one after another
+regenerates (or re-reads) the same trace N times. This module turns each
+job into an incremental *consumer* — ``update(access)`` per record,
+``finalize()`` for the result — and pumps a single
+:class:`~repro.trace.container.TraceSource` pass through all of them.
+
+Every consumer owns completely independent simulation state (its own
+hierarchy, SVB, predictor, analysis tables), exactly as a solo
+:func:`~repro.engine.exec.execute_job` run would, and the driver's
+pushed ``step`` closure is the same code the pulled ``run()`` loop
+executes — so fanned-out results are bit-identical to per-job execution.
+The engine uses this for serial runs; parallel workers instead replay a
+recorded trace from the :class:`~repro.tracestore.TraceStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.engine.exec import (
+    analysis_for_job,
+    build_prefetcher,
+    timing_model_for_job,
+)
+from repro.engine.job import KIND_COVERAGE, KIND_TIMING, SimJob
+from repro.sim.driver import SimulationDriver
+from repro.trace.events import MemoryAccess
+
+
+class _DriverConsumer:
+    """Push-mode coverage run: a driver walk fed one access at a time."""
+
+    __slots__ = ("_walk", "update")
+
+    def __init__(self, job: SimJob, driver: SimulationDriver) -> None:
+        self._walk = driver.start(job.workload)
+        shift = job.system.address_map.block_bits
+        step = self._walk.step
+        self.update = lambda access: step(access, access.address >> shift)
+
+    def finalize(self) -> Any:
+        return self._walk.finish()
+
+
+class _TimingConsumer(_DriverConsumer):
+    """Coverage walk feeding the incremental timing model; the timing
+    result is the job's payload, the coverage accounting is discarded
+    (same as the solo timing path)."""
+
+    __slots__ = ("_model",)
+
+    def __init__(self, job: SimJob, driver: SimulationDriver, model) -> None:
+        super().__init__(job, driver)
+        self._model = model
+
+    def finalize(self) -> Any:
+        self._walk.finish()
+        return self._model.finalize()
+
+
+def job_consumer(job: SimJob) -> Any:
+    """An ``update(access)`` / ``finalize()`` consumer executing ``job``.
+
+    Analysis jobs are :class:`~repro.analysis.base.StreamingAnalysis`
+    instances already; coverage and timing jobs wrap a pushed
+    :class:`~repro.sim.driver.DriverWalk`.
+    """
+    if job.kind == KIND_COVERAGE:
+        prefetcher = build_prefetcher(job.prefetcher, job.workload)
+        return _DriverConsumer(job, SimulationDriver(job.system, prefetcher))
+    if job.kind == KIND_TIMING:
+        prefetcher = build_prefetcher(job.prefetcher, job.workload)
+        model = timing_model_for_job(job)
+        driver = SimulationDriver(
+            job.system, prefetcher, service_consumer=model
+        )
+        return _TimingConsumer(job, driver, model)
+    return analysis_for_job(job)
+
+
+def run_group(
+    jobs: Sequence[SimJob], accesses: Iterable[MemoryAccess]
+) -> List[Tuple[SimJob, Any]]:
+    """Execute every job in ``jobs`` from one shared pass over ``accesses``.
+
+    Args:
+        jobs: jobs sharing a trace key (any kinds may mix).
+        accesses: a single-iteration access stream for that key — a
+            ``TraceSource``, a store replay, or a record-during-walk
+            generator.
+
+    Returns:
+        ``(job, result)`` pairs in ``jobs`` order, each result
+        bit-identical to a solo ``execute_job`` run.
+    """
+    consumers = [job_consumer(job) for job in jobs]
+    if len(consumers) == 1:
+        update = consumers[0].update
+        for access in accesses:
+            update(access)
+    else:
+        updates = [consumer.update for consumer in consumers]
+        for access in accesses:
+            for update in updates:
+                update(access)
+    return [
+        (job, consumer.finalize())
+        for job, consumer in zip(jobs, consumers)
+    ]

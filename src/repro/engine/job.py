@@ -171,7 +171,19 @@ class SimJob:
 
     @property
     def trace_key(self) -> Tuple[str, int, int]:
-        """Jobs sharing this key walk the identical generated trace."""
+        """The ``(workload, length, seed)`` triple naming this job's trace.
+
+        Trace generation is seed-deterministic, so any two jobs with
+        equal trace keys walk bit-identical access sequences no matter
+        which process generates them. The key is the unit of sharing in
+        the trace plane: the serial engine fans one generation pass out
+        to every pending job with the same key, and the
+        :class:`~repro.tracestore.TraceStore` records/replays one binary
+        trace file per key (its entry name is a stable hash of exactly
+        this triple). The key deliberately excludes the system config,
+        prefetcher and kind-specific params — those change what a job
+        *computes* over the trace, never the trace itself.
+        """
         return (self.workload, self.length, self.seed)
 
     def describe(self) -> Dict[str, Any]:

@@ -13,8 +13,15 @@ Usage::
     python -m repro.experiments fig9 --length 150000 --seed 7
     python -m repro.experiments all --small --jobs 4
     python -m repro.experiments all --extended --cache-dir .repro-cache
+    python -m repro.experiments all --jobs 4 --trace-store .repro-traces
     python -m repro.experiments fig9 --export json --export-dir results
     python -m repro.experiments --list
+
+A ``--trace-store`` directory (or the ``REPRO_TRACE_STORE`` environment
+variable) turns trace generation into a shared, cached resource: each
+``(workload, length, seed)`` trace is recorded once in a compact binary
+format and replayed by every job — and every ``--jobs`` worker — that
+shares it, across invocations.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.engine import Engine, JobGraph
+from repro.tracestore import default_trace_store_dir
 from repro.experiments import (
     baselines,
     fig6,
@@ -100,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="neither read nor write the result cache",
     )
     engine_group.add_argument(
+        "--trace-store", default=None, metavar="DIR",
+        help="shared trace plane: record each (workload, length, seed) "
+        "trace once and replay it for every job and worker that shares "
+        "it (default: $REPRO_TRACE_STORE if set, else off)",
+    )
+    engine_group.add_argument(
         "--materialize", action="store_true",
         help="compatibility mode: generate each trace into memory "
         "(per-process memo) instead of streaming it; results are "
@@ -133,10 +147,14 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def make_engine(args: argparse.Namespace) -> Engine:
+    trace_store = args.trace_store
+    if trace_store is None:
+        trace_store = default_trace_store_dir()
     return Engine(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         materialize=True if args.materialize else None,
+        trace_store=trace_store,
     )
 
 

@@ -48,6 +48,24 @@ class ServiceConsumer(Protocol):
         """Observe one classified access, in trace order."""
 
 
+class DriverWalk:
+    """One in-progress push-mode trace walk (see ``SimulationDriver.start``).
+
+    ``step(access, block)`` advances the simulation by one access;
+    ``finish()`` runs the end-of-trace accounting and returns the
+    :class:`CoverageResult`. Both are bound closures over the walk's
+    hoisted state, so pushing accesses one at a time costs one call per
+    access over the classic pull loop — which is what lets the engine
+    fan a single trace walk out to many independent walks at once.
+    """
+
+    __slots__ = ("step", "finish")
+
+    def __init__(self, step, finish) -> None:
+        self.step = step
+        self.finish = finish
+
+
 class SimulationDriver:
     """Runs one prefetcher over one trace and accounts coverage.
 
@@ -75,21 +93,28 @@ class SimulationDriver:
         self.record_service = record_service
         self.service_consumer = service_consumer
 
-    def run(self, trace: TraceLike) -> CoverageResult:
-        """Walk ``trace`` (materialized or streaming) through the system.
+    def start(self, workload_name: str) -> DriverWalk:
+        """Begin a push-mode walk: the caller supplies each access.
 
-        The loop body is deliberately flat: every per-access attribute
-        lookup that can be hoisted into a local binding is, block ids are
-        precomputed in one pass for materialized traces, and the counter
-        updates run on local integers that are written back to the result
-        once at the end. The accounting is unchanged — results are
-        bit-identical to the straightforward formulation.
+        The step body is deliberately flat: every per-access attribute
+        lookup that can be hoisted into a closure cell is, and the
+        counter updates run on cell integers written back to the result
+        once at :meth:`DriverWalk.finish`. ``run()`` drives the same
+        closures, so pushed and pulled walks are bit-identical.
+
+        Args:
+            workload_name: stamped on the :class:`CoverageResult`
+                (``run()`` passes ``trace.name``).
+
+        Returns:
+            A :class:`DriverWalk` whose ``step(access, block)`` consumes
+            one access and whose ``finish()`` returns the result.
         """
         system = self.system
         prefetcher = self.prefetcher
         hierarchy = Hierarchy(system)
         result = CoverageResult(
-            workload=trace.name,
+            workload=workload_name,
             prefetcher=prefetcher.name if prefetcher else "none",
         )
 
@@ -129,7 +154,10 @@ class SimulationDriver:
         l1_hits = l2_hits = issued_prefetches = 0
         overpredictions_local = 0
 
-        for access, block in self._access_blocks(trace):
+        def step(access: MemoryAccess, block: int) -> None:
+            nonlocal accesses, reads, writes, covered_count, uncovered_count
+            nonlocal l1_hits, l2_hits, issued_prefetches, overpredictions_local
+
             is_read = not access.is_write
             accesses += 1
             if is_read:
@@ -175,7 +203,7 @@ class SimulationDriver:
                 overpredictions_local += 1
 
             if prefetcher is None:
-                continue
+                return
 
             for evicted in outcome.l1_evictions:
                 on_l1_eviction(evicted)
@@ -205,25 +233,42 @@ class SimulationDriver:
                 else:
                     raise ValueError(f"unknown prefetch target {target!r}")
 
-        result.accesses = accesses
-        result.reads = reads
-        result.writes = writes
-        result.covered = covered_count
-        result.uncovered = uncovered_count
-        result.l1_hits = l1_hits
-        result.l2_hits = l2_hits
-        result.issued_prefetches = issued_prefetches
-        result.overpredictions += overpredictions_local
+        def finish() -> CoverageResult:
+            result.accesses = accesses
+            result.reads = reads
+            result.writes = writes
+            result.covered = covered_count
+            result.uncovered = uncovered_count
+            result.l1_hits = l1_hits
+            result.l2_hits = l2_hits
+            result.issued_prefetches = issued_prefetches
+            result.overpredictions += overpredictions_local
 
-        # end of run: whatever was fetched but never used is erroneous
-        svb.drain_unused()
-        result.overpredictions += hierarchy.l1.unused_prefetch_count()
-        if prefetcher is not None and hasattr(prefetcher, "finish"):
-            prefetcher.finish()
-            if hasattr(prefetcher, "stats"):
-                result.prefetcher_stats = prefetcher.stats.to_dict()
-        result.service = service
-        return result
+            # end of walk: whatever was fetched but never used is erroneous
+            svb.drain_unused()
+            result.overpredictions += hierarchy.l1.unused_prefetch_count()
+            if prefetcher is not None and hasattr(prefetcher, "finish"):
+                prefetcher.finish()
+                if hasattr(prefetcher, "stats"):
+                    result.prefetcher_stats = prefetcher.stats.to_dict()
+            result.service = service
+            return result
+
+        return DriverWalk(step, finish)
+
+    def run(self, trace: TraceLike) -> CoverageResult:
+        """Walk ``trace`` (materialized or streaming) through the system.
+
+        Pulls the whole trace through :meth:`start`'s step closure, so a
+        pulled run and an externally pushed walk (the engine's
+        multi-consumer fan-out) execute identical code and produce
+        bit-identical results.
+        """
+        walk = self.start(trace.name)
+        step = walk.step
+        for access, block in self._access_blocks(trace):
+            step(access, block)
+        return walk.finish()
 
     def _access_blocks(
         self, trace: TraceLike

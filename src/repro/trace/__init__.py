@@ -1,7 +1,18 @@
-"""Trace infrastructure: access records, trace containers and statistics."""
+"""Trace infrastructure: access records, trace containers and statistics.
+
+The on-disk counterpart — the record-once/replay-many binary trace
+store that turns any :class:`TraceSource` walk into a reusable artifact
+— lives in :mod:`repro.tracestore`.
+"""
 
 from repro.trace.events import MemoryAccess
-from repro.trace.container import Trace
+from repro.trace.container import Trace, TraceSource
 from repro.trace.tracestats import TraceStats, summarize_trace
 
-__all__ = ["MemoryAccess", "Trace", "TraceStats", "summarize_trace"]
+__all__ = [
+    "MemoryAccess",
+    "Trace",
+    "TraceSource",
+    "TraceStats",
+    "summarize_trace",
+]

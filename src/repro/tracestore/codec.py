@@ -1,0 +1,247 @@
+"""Compact binary trace codec: the record format of the trace plane.
+
+A trace file is append-only and self-describing::
+
+    magic "RTRC" | u16 version | u32 header-length | header JSON (utf-8)
+    record * N                     (fixed 29-byte records, see RECORD)
+    footer: magic "TEND" | u64 record count | u32 crc32(records)
+
+The header JSON carries the trace's identity and provenance (workload
+name, category, requested length, seed, generator metadata). Records
+hold every :class:`~repro.trace.events.MemoryAccess` field except
+``index``, which is implicit — records are stored in trace order, so
+record *i* decodes to the access with ``index == i``. The footer's
+record count and payload CRC are what let a reader reject truncated or
+corrupted files instead of replaying garbage into a simulation.
+
+Writers never expose a partial file: they stream records to a
+temporary sibling and publish it with an atomic ``os.replace`` only
+after the footer is written (see :mod:`repro.tracestore.store`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, Tuple, Union
+
+from repro.trace.events import MemoryAccess
+
+MAGIC = b"RTRC"
+FOOTER_MAGIC = b"TEND"
+#: bumped when the record layout changes incompatibly
+CODEC_VERSION = 1
+
+#: one access: pc u64, address u64, depends_on i64 (-1 = None),
+#: instr_gap u32, is_write u8
+RECORD = struct.Struct("<QQqIB")
+RECORD_SIZE = RECORD.size
+
+_PREAMBLE = struct.Struct("<4sHI")  # magic, version, header length
+_FOOTER = struct.Struct("<4sQI")  # magic, record count, payload crc32
+FOOTER_SIZE = _FOOTER.size
+
+#: records buffered per write / read syscall
+_CHUNK_RECORDS = 4096
+
+
+class TraceFormatError(ValueError):
+    """A trace file is truncated, corrupt, or from an unknown format."""
+
+
+def encode_access(access: MemoryAccess) -> bytes:
+    """One access as a fixed-size record (``index`` stays implicit)."""
+    depends = -1 if access.depends_on is None else access.depends_on
+    return RECORD.pack(
+        access.pc, access.address, depends, access.instr_gap,
+        1 if access.is_write else 0,
+    )
+
+
+def decode_record(index: int, record: Tuple[int, int, int, int, int]) -> MemoryAccess:
+    """Rebuild the access at trace position ``index`` from its record."""
+    pc, address, depends, instr_gap, is_write = record
+    return MemoryAccess(
+        index=index,
+        pc=pc,
+        address=address,
+        is_write=bool(is_write),
+        depends_on=None if depends < 0 else depends,
+        instr_gap=instr_gap,
+    )
+
+
+def encode_into(
+    handle, header: Dict[str, Any], accesses: Iterable[MemoryAccess]
+) -> Iterator[MemoryAccess]:
+    """Encode ``accesses`` into an open binary ``handle``, re-yielding
+    each access after it is buffered.
+
+    This is the single encode loop behind both :func:`write_trace`
+    (which drains it) and the store's record-during-walk path (which
+    forwards the yields to live consumers, so one generation pass both
+    feeds a fan-out group and publishes the file). The footer is written
+    when — and only when — the input is exhausted, so an abandoned walk
+    leaves an unterminated file that readers reject.
+
+    Raises:
+        ValueError: if ``accesses`` yields non-consecutive indices.
+    """
+    header_blob = json.dumps(header, sort_keys=True).encode()
+    crc = 0
+    count = 0
+    pack = RECORD.pack
+    handle.write(_PREAMBLE.pack(MAGIC, CODEC_VERSION, len(header_blob)))
+    handle.write(header_blob)
+    chunk = bytearray()
+    for access in accesses:
+        if access.index != count:
+            raise ValueError(
+                f"access index {access.index} does not continue the "
+                f"stream (expected {count})"
+            )
+        depends = -1 if access.depends_on is None else access.depends_on
+        chunk += pack(access.pc, access.address, depends,
+                      access.instr_gap, 1 if access.is_write else 0)
+        count += 1
+        if len(chunk) >= _CHUNK_RECORDS * RECORD_SIZE:
+            crc = zlib.crc32(chunk, crc)
+            handle.write(chunk)
+            chunk.clear()
+        yield access
+    if chunk:
+        crc = zlib.crc32(chunk, crc)
+        handle.write(chunk)
+    handle.write(_FOOTER.pack(FOOTER_MAGIC, count, crc))
+
+
+def write_trace(
+    path: Union[str, Path],
+    header: Dict[str, Any],
+    accesses: Iterable[MemoryAccess],
+) -> Tuple[int, int]:
+    """Encode ``accesses`` into ``path`` (header, records, footer).
+
+    Args:
+        path: destination file (the caller owns atomicity — pass a
+            temporary path and ``os.replace`` it after this returns).
+        header: JSON-able identity/provenance metadata.
+        accesses: trace records in order; indices must be consecutive
+            from 0.
+
+    Returns:
+        ``(record_count, file_bytes)`` for accounting.
+    """
+    path = Path(path)
+    with path.open("wb") as handle:
+        count = sum(1 for _ in encode_into(handle, header, accesses))
+        size = handle.tell()
+    return count, size
+
+
+def read_header(path: Union[str, Path]) -> Dict[str, Any]:
+    """Validate ``path``'s framing and return its header JSON.
+
+    Checks magic, codec version, header integrity, footer magic, and
+    that the payload size matches the footer's record count — the cheap
+    structural checks that don't require reading the records themselves
+    (the payload CRC is verified during replay).
+
+    Raises:
+        TraceFormatError: on any structural mismatch.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with path.open("rb") as handle:
+            preamble = handle.read(_PREAMBLE.size)
+            if len(preamble) != _PREAMBLE.size:
+                raise TraceFormatError(f"{path}: truncated preamble")
+            magic, version, header_len = _PREAMBLE.unpack(preamble)
+            if magic != MAGIC:
+                raise TraceFormatError(f"{path}: not a trace file")
+            if version != CODEC_VERSION:
+                raise TraceFormatError(
+                    f"{path}: codec version {version} (expected {CODEC_VERSION})"
+                )
+            header_blob = handle.read(header_len)
+            if len(header_blob) != header_len:
+                raise TraceFormatError(f"{path}: truncated header")
+            try:
+                header = json.loads(header_blob)
+            except ValueError as error:
+                raise TraceFormatError(f"{path}: bad header JSON") from error
+            payload = size - _PREAMBLE.size - header_len - FOOTER_SIZE
+            if payload < 0 or payload % RECORD_SIZE:
+                raise TraceFormatError(f"{path}: truncated record payload")
+            handle.seek(size - FOOTER_SIZE)
+            footer_magic, count, _crc = _FOOTER.unpack(handle.read(FOOTER_SIZE))
+            if footer_magic != FOOTER_MAGIC:
+                raise TraceFormatError(f"{path}: missing footer (truncated?)")
+            if count * RECORD_SIZE != payload:
+                raise TraceFormatError(
+                    f"{path}: footer claims {count} records, "
+                    f"payload holds {payload // RECORD_SIZE}"
+                )
+    except OSError as error:
+        raise TraceFormatError(f"{path}: unreadable ({error})") from error
+    return header
+
+
+def read_accesses(path: Union[str, Path]) -> Iterator[MemoryAccess]:
+    """Replay ``path``'s records as :class:`MemoryAccess` objects.
+
+    Streams the payload in chunks (O(1) memory in trace length) and
+    verifies the footer CRC as it goes; a corrupted payload raises
+    :class:`TraceFormatError` at the end of the walk, before a consumer
+    can treat the replay as complete.
+
+    Raises:
+        TraceFormatError: on structural damage or a CRC mismatch.
+    """
+    path = Path(path)
+    read_header(path)  # structural validation (raises on damage)
+    size = path.stat().st_size
+    with path.open("rb") as handle:
+        preamble = handle.read(_PREAMBLE.size)
+        _, _, header_len = _PREAMBLE.unpack(preamble)
+        handle.seek(_PREAMBLE.size + header_len)
+        remaining = size - _PREAMBLE.size - header_len - FOOTER_SIZE
+        handle.seek(size - FOOTER_SIZE)
+        _, count, expected_crc = _FOOTER.unpack(handle.read(FOOTER_SIZE))
+        handle.seek(_PREAMBLE.size + header_len)
+        crc = 0
+        index = 0
+        iter_unpack = RECORD.iter_unpack
+        chunk_bytes = _CHUNK_RECORDS * RECORD_SIZE
+        while remaining:
+            want = min(chunk_bytes, remaining)
+            chunk = handle.read(want)
+            while 0 < len(chunk) < want:  # top up a short read
+                more = handle.read(want - len(chunk))
+                if not more:
+                    break
+                chunk += more
+            if len(chunk) != want:
+                raise TraceFormatError(f"{path}: payload ended early")
+            remaining -= len(chunk)
+            crc = zlib.crc32(chunk, crc)
+            for record in iter_unpack(chunk):
+                pc, address, depends, instr_gap, is_write = record
+                yield MemoryAccess(
+                    index=index,
+                    pc=pc,
+                    address=address,
+                    is_write=bool(is_write),
+                    depends_on=None if depends < 0 else depends,
+                    instr_gap=instr_gap,
+                )
+                index += 1
+        if index != count:
+            raise TraceFormatError(
+                f"{path}: replayed {index} records, footer claims {count}"
+            )
+        if crc != expected_crc:
+            raise TraceFormatError(f"{path}: payload CRC mismatch")

@@ -1,0 +1,267 @@
+"""On-disk trace store: record a workload trace once, replay it anywhere.
+
+The store is the shared *trace plane* between generation and execution.
+Each entry holds one complete generated trace, keyed by the same
+``(workload, length, seed)`` trace key that :class:`~repro.engine.job.SimJob`
+exposes — any two jobs with equal trace keys walk bit-identical access
+sequences, so one recorded file can feed every configuration sweep over
+that trace. Entries live in two-hex-character shard subdirectories
+(``ab/<key-hash>.trace``) so million-entry stores never degenerate into
+one flat directory, and every write goes through a temporary sibling and
+an atomic ``os.replace`` — concurrent recorders of the same key are
+idempotent (identical content, last rename wins) and readers never see a
+partial file.
+
+Three ways to obtain a replayable :class:`~repro.trace.container.TraceSource`:
+
+* :meth:`TraceStore.open_source` — replay an existing entry (raises on a
+  missing/corrupt file);
+* :meth:`TraceStore.record` — generate the full trace into the store
+  without feeding any consumer (the engine's parallel pre-record step);
+* :meth:`TraceStore.source` — replay when recorded, otherwise *record
+  during the walk*: the first full iteration both feeds its consumers
+  and publishes the entry, so the generation pass is never wasted.
+
+A corrupt or truncated entry is treated as missing (and overwritten by
+the next recording), never replayed: the codec's structural checks and
+payload CRC guard the boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.trace.container import TraceSource
+from repro.tracestore.codec import (
+    FOOTER_SIZE,
+    RECORD_SIZE,
+    TraceFormatError,
+    encode_into,
+    read_accesses,
+    read_header,
+    write_trace,
+)
+from repro.workloads.registry import stream_workload
+
+#: trace keys are (workload, length, seed) — see SimJob.trace_key
+TraceKey = Tuple[str, int, int]
+
+#: bumped when key derivation or the stored header schema changes
+STORE_VERSION = 1
+
+
+def trace_key_hash(workload: str, length: int, seed: int) -> str:
+    """Stable content hash naming the store entry for one trace key.
+
+    Mixes in the store/codec version so a format bump automatically
+    invalidates (ignores) entries written by older code.
+    """
+    payload = json.dumps(
+        {
+            "workload": workload,
+            "length": length,
+            "seed": seed,
+            "store": STORE_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class TraceStoreStats:
+    """Replay/recording accounting for one store handle."""
+
+    hits: int = 0
+    misses: int = 0
+    generated: int = 0
+    bytes_replayed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "generated": self.generated,
+            "bytes_replayed": self.bytes_replayed,
+        }
+
+    def absorb(self, delta: Dict[str, int]) -> None:
+        """Fold another handle's counters (e.g. a pool worker's) in."""
+        self.hits += delta.get("hits", 0)
+        self.misses += delta.get("misses", 0)
+        self.generated += delta.get("generated", 0)
+        self.bytes_replayed += delta.get("bytes_replayed", 0)
+
+
+class TraceStore:
+    """Sharded record-once/replay-many trace store under ``directory``."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = TraceStoreStats()
+
+    # -- layout ------------------------------------------------------------
+
+    def path_for(self, key: TraceKey) -> Path:
+        digest = trace_key_hash(*key)
+        return self.directory / digest[:2] / f"{digest}.trace"
+
+    def has(self, key: TraceKey) -> bool:
+        """True when ``key`` has a structurally valid entry on disk."""
+        path = self.path_for(key)
+        if not path.exists():
+            return False
+        try:
+            read_header(path)
+        except TraceFormatError:
+            return False
+        return True
+
+    def catalog(self) -> List[Dict[str, object]]:
+        """Headers of every valid entry (provenance listing, tests)."""
+        entries = []
+        for path in sorted(self.directory.glob("??/*.trace")):
+            try:
+                entries.append(read_header(path))
+            except TraceFormatError:
+                continue
+        return entries
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, key: TraceKey) -> Path:
+        """Generate ``key``'s full trace and publish it atomically.
+
+        A no-op (and a cheap one) when a valid entry already exists.
+
+        Returns:
+            The entry's path.
+        """
+        path = self.path_for(key)
+        if self.has(key):
+            return path
+        source = _generation_source(key)
+        self._write(path, _entry_header(key, source), iter(source))
+        self.stats.misses += 1
+        self.stats.generated += 1
+        return path
+
+    def _write(self, path: Path, header: Dict[str, object], accesses) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            write_trace(tmp, header, accesses)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        os.replace(tmp, path)
+
+    # -- replay ------------------------------------------------------------
+
+    def open_source(self, key: TraceKey) -> TraceSource:
+        """Replay an existing entry as a re-iterable :class:`TraceSource`.
+
+        Raises:
+            TraceFormatError: when the entry is missing, truncated or
+                corrupt (``has()`` first to treat those as misses).
+        """
+        path = self.path_for(key)
+        header = read_header(path)
+        self.stats.hits += 1
+        return TraceSource(
+            name=str(header.get("name", key[0])),
+            factory=lambda: self._replay(path),
+            category=str(header.get("category", "synthetic")),
+            metadata=dict(header.get("metadata", {})),
+            length_hint=key[1],
+        )
+
+    def _replay(self, path: Path) -> Iterator:
+        bytes_per = RECORD_SIZE
+        count = 0
+        for access in read_accesses(path):
+            count += 1
+            yield access
+        self.stats.bytes_replayed += count * bytes_per + FOOTER_SIZE
+
+    def source(self, key: TraceKey) -> TraceSource:
+        """Replay ``key`` if recorded; otherwise record it *during* the
+        first full walk (the generation pass also publishes the entry).
+
+        The presence check re-runs per iteration pass, so a source built
+        before the entry existed switches to replay once any walker —
+        this process or another — has published it.
+        """
+        if self.has(key):
+            return self.open_source(key)
+        template = _generation_source(key)
+
+        def factory():
+            if self.has(key):
+                self.stats.hits += 1
+                return self._replay(self.path_for(key))
+            return self._record_while_walking(key)
+
+        return TraceSource(
+            name=template.name,
+            factory=factory,
+            category=template.category,
+            metadata=dict(template.metadata),
+            length_hint=key[1],
+        )
+
+    def _record_while_walking(self, key: TraceKey) -> Iterator:
+        """Generate, yielding each access while teeing it into the store."""
+        self.stats.misses += 1
+        self.stats.generated += 1
+        source = _generation_source(key)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            yield from _tee_write(tmp, _entry_header(key, source), source)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        os.replace(tmp, path)
+
+
+def _tee_write(tmp: Path, header: Dict[str, object], source) -> Iterator:
+    """Yield ``source``'s accesses while encoding them into ``tmp``.
+
+    A thin wrapper over the codec's shared encode loop: each access is
+    buffered for the file and forwarded to the live consumers in the
+    same single-pass step.
+    """
+    with tmp.open("wb") as handle:
+        yield from encode_into(handle, header, source)
+
+
+def _generation_source(key: TraceKey) -> TraceSource:
+    workload, length, seed = key
+    return stream_workload(workload, length, seed)
+
+
+def _entry_header(key: TraceKey, source: TraceSource) -> Dict[str, object]:
+    workload, length, seed = key
+    return {
+        "store": STORE_VERSION,
+        "workload": workload,
+        "length": length,
+        "seed": seed,
+        "name": source.name,
+        "category": source.category,
+        "metadata": dict(source.metadata),
+    }
+
+
+def default_trace_store_dir() -> Optional[str]:
+    """The ``REPRO_TRACE_STORE`` environment default, if set."""
+    value = os.environ.get("REPRO_TRACE_STORE", "").strip()
+    return value or None

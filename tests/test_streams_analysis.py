@@ -3,6 +3,8 @@
 import pytest
 
 from repro.analysis.streams import (
+    GreedyStreamMatcher,
+    StreamLengthAnalysis,
     stream_length_analysis,
     stream_lengths_of_sequence,
 )
@@ -66,3 +68,41 @@ class TestTraceLevel:
         assert result.mean_length() > 20
         # most streamed misses live in long streams (the §2.1 claim)
         assert result.fraction_of_misses_in_streams_of_at_least(10) > 0.8
+
+
+class TestBoundedHistory:
+    """The bounded matcher (the default) must agree with exact mode at
+    tier-1 trace lengths, and its state must stay O(history_limit)."""
+
+    def test_bounded_default_matches_exact_on_tier1_trace(self):
+        from repro.workloads.registry import stream_workload
+
+        system = SystemConfig.tiny()
+        source = stream_workload("db2", 40_000, 42)  # the --small preset
+        bounded = StreamLengthAnalysis(system, workload="db2").consume(source)
+        exact = StreamLengthAnalysis(
+            system, workload="db2", exact=True
+        ).consume(source)
+        assert bounded.lengths == exact.lengths
+
+    def test_bounded_function_matches_exact_within_window(self):
+        import random
+        rng = random.Random(9)
+        misses = [rng.randrange(200) for _ in range(5_000)]
+        exact = stream_lengths_of_sequence(misses)
+        bounded = stream_lengths_of_sequence(misses, history_limit=6_000)
+        assert bounded.lengths == exact.lengths
+
+    def test_bounded_state_is_bounded(self):
+        import random
+        rng = random.Random(3)
+        matcher = GreedyStreamMatcher(history_limit=256)
+        for _ in range(50_000):
+            matcher.push(rng.randrange(10_000))
+        assert len(matcher._history) <= 512
+        assert len(matcher._last_occurrence) <= 512
+        matcher.finish()
+
+    def test_history_limit_must_exceed_lookahead(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            GreedyStreamMatcher(lookahead=8, history_limit=8)
