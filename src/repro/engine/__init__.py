@@ -28,7 +28,7 @@ Typical use::
     rows = fig9.collect(config, plan, results)
 """
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.engine import Engine, EngineStats, ResultMap
 from repro.engine.exec import (
     build_prefetcher,
@@ -37,6 +37,12 @@ from repro.engine.exec import (
     materialized_trace,
 )
 from repro.engine.fanout import job_consumer, run_group
+from repro.engine.faultinject import FaultPlan
+from repro.engine.faults import (
+    JobExecutionError,
+    JobFailure,
+    RetryPolicy,
+)
 from repro.engine.graph import JobGraph
 from repro.engine.job import (
     JOB_KINDS,
@@ -50,8 +56,12 @@ from repro.engine.job import (
 )
 
 __all__ = [
+    "CacheStats",
     "Engine",
     "EngineStats",
+    "FaultPlan",
+    "JobExecutionError",
+    "JobFailure",
     "JobGraph",
     "JOB_KINDS",
     "KIND_CORRELATION",
@@ -62,6 +72,7 @@ __all__ = [
     "PrefetcherSpec",
     "ResultCache",
     "ResultMap",
+    "RetryPolicy",
     "SimJob",
     "build_prefetcher",
     "execute_job",

@@ -27,15 +27,36 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import sys
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
 from repro import __version__ as _PACKAGE_VERSION
+from repro.engine.faultinject import maybe_corrupt_cache
+from repro.engine.faults import quarantine_file
 from repro.engine.job import SimJob
 from repro.sim.export import decode_result, encode_result
 
 #: bumped when the result encoding changes incompatibly
 CACHE_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Degradation accounting for one cache handle.
+
+    A *corrupt* entry is a shard that exists but cannot be parsed or
+    decoded — it is warned about, quarantined, and treated as a miss
+    (the job re-executes transparently). Stale entries (version or kind
+    mismatch) are ordinary misses and are not counted here.
+    """
+
+    corrupt: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        return {"corrupt": self.corrupt, "quarantined": self.quarantined}
 
 
 class ResultCache:
@@ -51,6 +72,7 @@ class ResultCache:
     def __init__(self, directory: Union[str, Path], index: bool = False) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
         self._index_db: Optional[sqlite3.Connection] = None
         if index:
             try:
@@ -95,24 +117,58 @@ class ResultCache:
         return path
 
     def load(self, job: SimJob) -> Optional[Any]:
-        """The cached result for ``job``, or None on miss/corruption."""
+        """The cached result for ``job``, or None on a miss.
+
+        Three distinct None paths: the entry doesn't exist (plain
+        miss), it is *stale* (version/kind guard — also a plain miss),
+        or it is *corrupt* (unparseable/undecodable shard). Corruption
+        is never silent: the shard is quarantined with a reason file, a
+        one-line warning goes to stderr, and ``stats.corrupt`` counts
+        it — the caller just sees a miss and re-executes the job.
+        """
         path = self.path_for(job)
         if not path.is_file():
             path = self._migrate_legacy(job, path)
         try:
             with path.open() as handle:
                 document = json.load(handle)
-            if document.get("version") != CACHE_VERSION:
-                return None
-            # the job hash keys the *inputs*; the package version is the
-            # coarse guard against serving results simulated by older code
-            if document.get("repro") != _PACKAGE_VERSION:
-                return None
-            if document.get("kind") != job.kind:
-                return None
-            return decode_result(document["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
             return None
+        except OSError:
+            return None  # unreadable (permissions?) — treat as a miss
+        except ValueError as error:
+            self._reject_corrupt(job, path, f"bad JSON: {error}")
+            return None
+        if document.get("version") != CACHE_VERSION:
+            return None
+        # the job hash keys the *inputs*; the package version is the
+        # coarse guard against serving results simulated by older code
+        if document.get("repro") != _PACKAGE_VERSION:
+            return None
+        if document.get("kind") != job.kind:
+            return None
+        try:
+            return decode_result(document["result"])
+        except (ValueError, KeyError, TypeError) as error:
+            self._reject_corrupt(
+                job, path, f"undecodable result: {type(error).__name__}: {error}"
+            )
+            return None
+
+    def _reject_corrupt(self, job: SimJob, path: Path, reason: str) -> None:
+        """Warn, count, and quarantine one corrupt shard (never raises)."""
+        self.stats.corrupt += 1
+        moved = quarantine_file(
+            path, self.directory, f"job {job.job_hash}: {reason}"
+        )
+        if moved is not None:
+            self.stats.quarantined += 1
+        print(
+            f"[cache: corrupt entry for {job.label()} ({reason}); "
+            + (f"quarantined to {moved}" if moved else "already removed")
+            + ", re-executing]",
+            file=sys.stderr,
+        )
 
     def store(self, job: SimJob, result: Any) -> Path:
         """Persist ``result`` for ``job`` (atomic rename)."""
@@ -134,8 +190,32 @@ class ResultCache:
         with tmp.open("w") as handle:
             json.dump(document, handle)
         os.replace(tmp, path)
+        maybe_corrupt_cache(path)
         self._index_store(job)
         return path
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the sqlite catalog connection (idempotent).
+
+        File entries need no teardown; only the optional index holds an
+        OS handle. Long-running sweeps that open many caches should
+        close them (or use the cache as a context manager) rather than
+        rely on garbage collection.
+        """
+        if self._index_db is not None:
+            try:
+                self._index_db.close()
+            except sqlite3.Error:
+                pass
+            self._index_db = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- optional sqlite catalog -------------------------------------------
 

@@ -45,6 +45,7 @@ from repro.analysis.correlation import CorrelationDistanceAnalysis
 from repro.analysis.joint import JointPredictabilityAnalysis
 from repro.analysis.repetition import RepetitionAnalysis
 from repro.common.config import SMSConfig, STeMSConfig, TMSConfig
+from repro.engine.faultinject import maybe_fail_job
 from repro.engine.job import (
     CONFIGURABLE_PREFETCHER_KINDS,
     KIND_CORRELATION,
@@ -246,6 +247,7 @@ def execute_job(
     job: SimJob,
     materialize: Optional[bool] = None,
     trace_store: Optional["TraceStore"] = None,
+    attempt: int = 1,
 ) -> Any:
     """Run one job to completion and return its result dataclass.
 
@@ -257,14 +259,58 @@ def execute_job(
         trace_store: when given (and not materializing), the job's trace
             is replayed from — or recorded into — this on-disk store
             instead of being regenerated.
+        attempt: 1-based attempt number (retry ladder); folded into the
+            fault-injection draw so a retried job re-rolls its faults.
 
     Returns:
         The kind-specific result dataclass; bit-identical across all
         trace modes, serial/parallel execution and cache round-trips.
+
+    A mid-walk :class:`~repro.tracestore.TraceFormatError` from a store
+    replay (a corrupt or truncated entry caught by the codec's CRC) is
+    *not* handled here — callers recover by quarantining the entry and
+    retrying, at which point the store regenerates (see
+    ``execute_job_recovering``).
     """
     if materialize is None:
         materialize = default_materialize()
+    maybe_fail_job(job.job_hash, attempt)
     return _EXECUTORS[job.kind](job, job_trace(job, materialize, trace_store))
+
+
+def execute_job_recovering(
+    job: SimJob,
+    materialize: Optional[bool] = None,
+    trace_store: Optional["TraceStore"] = None,
+    attempt: int = 1,
+) -> Any:
+    """:func:`execute_job` with the replay→regeneration fallback wired.
+
+    When execution fails and the store entry the job replayed does not
+    verify — damage surfaces either as a
+    :class:`~repro.tracestore.TraceFormatError` from the codec CRC or
+    as the consumer choking on a garbage decoded access — the damaged
+    entry is quarantined (``quarantine/`` + reason file, accounted on
+    the store's stats) and the job is re-executed; the store then
+    records a fresh trace during the retry walk. One fallback only — a
+    failure with a verified-clean (or absent) entry is the job's own
+    and propagates to the caller's retry ladder.
+    """
+    if trace_store is None:
+        return execute_job(job, materialize, None, attempt)
+    try:
+        return execute_job(job, materialize, trace_store, attempt)
+    except Exception as error:
+        damaged = trace_store.quarantine_if_damaged(
+            job.trace_key, f"replay failed: {error}"
+        )
+        # a racing recoverer may have already quarantined (and cleanly
+        # re-recorded) the damaged entry this walk read — the evidence
+        # in quarantine/ still licenses one retry
+        if not damaged and not trace_store.was_quarantined(job.trace_key):
+            raise
+        trace_store.stats.replay_fallbacks += 1
+        return execute_job(job, materialize, trace_store, attempt)
 
 
 def execute_job_with_hash(
@@ -278,13 +324,17 @@ def execute_job_for_pool(
     job: SimJob,
     materialize: Optional[bool] = None,
     trace_store_dir: Optional[Union[str, Path]] = None,
+    attempt: int = 1,
 ) -> Tuple[str, Any, Dict[str, int]]:
     """Worker-side entry: result plus the trace-plane accounting delta.
 
     Opens a per-call :class:`TraceStore` handle when a directory is
     given, so its stats are exactly this job's replay/recording work;
     the parent engine folds the returned dict into its
-    :class:`~repro.engine.engine.EngineStats`.
+    :class:`~repro.engine.engine.EngineStats`. Store-replay corruption
+    is recovered in-worker (quarantine + regenerate, reported through
+    the stats delta); other failures propagate to the parent's retry
+    supervisor.
     """
     if materialize is None:
         materialize = default_materialize()
@@ -293,7 +343,7 @@ def execute_job_for_pool(
         from repro.tracestore import TraceStore
 
         store = TraceStore(trace_store_dir)
-    result = execute_job(job, materialize, store)
+    result = execute_job_recovering(job, materialize, store, attempt)
     if store is not None:
         stats = store.stats.as_dict()
     elif materialize:

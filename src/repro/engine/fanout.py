@@ -25,6 +25,7 @@ from repro.engine.exec import (
     build_prefetcher,
     timing_model_for_job,
 )
+from repro.engine.faultinject import maybe_fail_job
 from repro.engine.job import KIND_COVERAGE, KIND_TIMING, SimJob
 from repro.sim.driver import SimulationDriver
 from repro.trace.events import MemoryAccess
@@ -96,6 +97,11 @@ def run_group(
         ``(job, result)`` pairs in ``jobs`` order, each result
         bit-identical to a solo ``execute_job`` run.
     """
+    # per-job injection point (attempt 1): grouped jobs must see the same
+    # injected faults a solo execute_job would, so the engine's
+    # group→isolation degradation actually gets exercised
+    for job in jobs:
+        maybe_fail_job(job.job_hash, 1)
     consumers = [job_consumer(job) for job in jobs]
     if len(consumers) == 1:
         update = consumers[0].update

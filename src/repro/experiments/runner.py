@@ -22,6 +22,16 @@ variable) turns trace generation into a shared, cached resource: each
 ``(workload, length, seed)`` trace is recorded once in a compact binary
 format and replayed by every job — and every ``--jobs`` worker — that
 shares it, across invocations.
+
+Execution is fault-tolerant: every job runs under a retry policy
+(``--retries``, ``--job-timeout``), dead workers are respawned with only
+the lost jobs requeued, and corrupt trace/cache entries are quarantined
+and regenerated. The **exit code is a contract**: ``0`` means a clean
+run, ``1`` means the run completed but some recovery path fired
+(retries, quarantines, fallbacks — including jobs that failed
+permanently and surfaced as structured failures), and ``2`` means a hard
+failure under ``--strict`` (the first job to exhaust its retries aborts
+the run).
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.engine import Engine, JobGraph
+from repro.engine import Engine, JobExecutionError, JobGraph, RetryPolicy
 from repro.tracestore import default_trace_store_dir
 from repro.experiments import (
     baselines,
@@ -114,6 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
         "it (default: $REPRO_TRACE_STORE if set, else off)",
     )
     engine_group.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="attempts each failing job gets before it is recorded as a "
+        "structured failure (default: 3; 1 disables retrying)",
+    )
+    engine_group.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; an overrunning job's worker is "
+        "killed and the job charged a timeout attempt (default: none)",
+    )
+    engine_group.add_argument(
+        "--strict", action="store_true",
+        help="abort (exit 2) on the first job that exhausts its retries "
+        "instead of degrading it to a structured failure (exit 1)",
+    )
+    engine_group.add_argument(
         "--materialize", action="store_true",
         help="compatibility mode: generate each trace into memory "
         "(per-process memo) instead of streaming it; results are "
@@ -155,6 +180,10 @@ def make_engine(args: argparse.Namespace) -> Engine:
         cache_dir=None if args.no_cache else args.cache_dir,
         materialize=True if args.materialize else None,
         trace_store=trace_store,
+        retry=RetryPolicy(
+            attempts=max(1, args.retries), timeout=args.job_timeout
+        ),
+        strict=args.strict,
     )
 
 
@@ -204,7 +233,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment is None:
         build_parser().error("an experiment name (or --list) is required")
     config = make_config(args)
-    engine = make_engine(args)
     names = select_experiments(args)
 
     # declare everything into one graph so the engine deduplicates the
@@ -212,19 +240,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     started = time.time()
     graph = JobGraph()
     plans = {name: EXPERIMENTS[name].declare(config, graph) for name in names}
-    results = engine.run(graph)
-    for name in names:
-        module = EXPERIMENTS[name]
-        output = module.collect(config, plans[name], results)
-        print(module.format_table(output))
-        if args.export:
-            path = _export(name, output, args.export, Path(args.export_dir))
-            if path is not None:
-                print(f"[{name}: rows exported to {path}]", file=sys.stderr)
-        print()
-    print(f"[{engine.stats.format()}, {time.time() - started:.1f}s]",
-          file=sys.stderr)
-    return 0
+    with make_engine(args) as engine:
+        try:
+            results = engine.run(graph)
+        except JobExecutionError as error:
+            print(f"[engine: strict abort — {error.failure.summary()}]",
+                  file=sys.stderr)
+            print(f"[{engine.stats.format()}]", file=sys.stderr)
+            return 2
+        failures = results.failures()
+        for failure in failures:
+            print(f"[engine: {failure.summary()}]", file=sys.stderr)
+        for name in names:
+            module = EXPERIMENTS[name]
+            try:
+                output = module.collect(config, plans[name], results)
+                table = module.format_table(output)
+                exported = (
+                    _export(name, output, args.export, Path(args.export_dir))
+                    if args.export else None
+                )
+            except Exception:
+                if not failures:
+                    raise
+                # a failed job leaves a hole this experiment needs; the
+                # run still surfaces every other table (degraded, exit 1)
+                print(f"[{name}: table skipped — {len(failures)} job(s) "
+                      "failed permanently]", file=sys.stderr)
+                print()
+                continue
+            print(table)
+            if exported is not None:
+                print(f"[{name}: rows exported to {exported}]",
+                      file=sys.stderr)
+            print()
+        print(f"[{engine.stats.format()}, {time.time() - started:.1f}s]",
+              file=sys.stderr)
+        return 1 if engine.stats.degraded else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -51,6 +51,16 @@ from repro.workloads.registry import stream_workload
 #: trace keys are (workload, length, seed) — see SimJob.trace_key
 TraceKey = Tuple[str, int, int]
 
+
+def _fault_plane():
+    """The fault helpers, imported lazily (cold paths only) to keep
+    ``repro.tracestore`` importable without dragging in the engine
+    package first (``repro.engine`` imports this module at top level)."""
+    from repro.engine.faultinject import maybe_corrupt_trace
+    from repro.engine.faults import quarantine_file
+
+    return maybe_corrupt_trace, quarantine_file
+
 #: bumped when key derivation or the stored header schema changes
 STORE_VERSION = 1
 
@@ -75,12 +85,20 @@ def trace_key_hash(workload: str, length: int, seed: int) -> str:
 
 @dataclass
 class TraceStoreStats:
-    """Replay/recording accounting for one store handle."""
+    """Replay/recording accounting for one store handle.
+
+    ``quarantined`` counts damaged entries moved aside (structural
+    rejection at open, or a mid-walk CRC failure the recovery path
+    reported); ``replay_fallbacks`` counts replays that degraded to a
+    fresh generation pass after quarantining their entry.
+    """
 
     hits: int = 0
     misses: int = 0
     generated: int = 0
     bytes_replayed: int = 0
+    quarantined: int = 0
+    replay_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -88,6 +106,8 @@ class TraceStoreStats:
             "misses": self.misses,
             "generated": self.generated,
             "bytes_replayed": self.bytes_replayed,
+            "quarantined": self.quarantined,
+            "replay_fallbacks": self.replay_fallbacks,
         }
 
     def absorb(self, delta: Dict[str, int]) -> None:
@@ -96,6 +116,8 @@ class TraceStoreStats:
         self.misses += delta.get("misses", 0)
         self.generated += delta.get("generated", 0)
         self.bytes_replayed += delta.get("bytes_replayed", 0)
+        self.quarantined += delta.get("quarantined", 0)
+        self.replay_fallbacks += delta.get("replay_fallbacks", 0)
 
 
 class TraceStore:
@@ -113,15 +135,89 @@ class TraceStore:
         return self.directory / digest[:2] / f"{digest}.trace"
 
     def has(self, key: TraceKey) -> bool:
-        """True when ``key`` has a structurally valid entry on disk."""
+        """True when ``key`` has a structurally valid entry on disk.
+
+        A structurally damaged entry (bad magic, truncation, missing
+        footer) is quarantined on sight — moved into ``quarantine/``
+        with a reason file — so the next recording starts clean and the
+        evidence survives for debugging.
+        """
         path = self.path_for(key)
         if not path.exists():
             return False
         try:
             read_header(path)
-        except TraceFormatError:
+        except TraceFormatError as error:
+            self.quarantine_entry(key, f"structural damage: {error}")
             return False
         return True
+
+    def verify(self, key: TraceKey) -> bool:
+        """True when ``key``'s entry replays cleanly end-to-end.
+
+        A full integrity pass: structural checks, per-record decode
+        (including access validation), and the payload CRC. Used by the
+        recovery paths to decide whether a failed replay walk died of a
+        damaged entry (→ quarantine and regenerate) or a genuine
+        consumer error (→ the job itself is at fault).
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return False
+        try:
+            for _ in read_accesses(path):
+                pass
+        except Exception:
+            return False
+        return True
+
+    def quarantine_if_damaged(self, key: TraceKey, reason: str) -> bool:
+        """Quarantine ``key``'s entry iff it exists and fails :meth:`verify`.
+
+        Returns:
+            True when a damaged entry was present (and is now moved
+            aside, so the next recording starts clean); False when the
+            entry is missing or verifies clean — corruption can then be
+            ruled out as the cause of whatever failure prompted the
+            check.
+        """
+        path = self.path_for(key)
+        if not path.exists() or self.verify(key):
+            return False
+        self.quarantine_entry(key, reason)
+        return True
+
+    def was_quarantined(self, key: TraceKey) -> bool:
+        """True when ``key`` has ever had an entry quarantined.
+
+        Evidence check for racing recoverers: a walker that read a
+        damaged entry may find it already quarantined — and freshly
+        republished, clean — by the racer that noticed first. The
+        quarantine directory keeps the damaged file under the key's
+        digest, so its presence licenses retrying a failed walk whose
+        entry now verifies.
+        """
+        from repro.engine.faults import QUARANTINE_DIR
+
+        digest = trace_key_hash(*key)
+        quarantine = self.directory / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return False
+        return any(quarantine.glob(f"{digest}.trace*"))
+
+    def quarantine_entry(self, key: TraceKey, reason: str) -> Optional[Path]:
+        """Move ``key``'s damaged entry aside instead of deleting it.
+
+        Returns:
+            The quarantined file's path under ``quarantine/``, or None
+            when the entry no longer exists (another recoverer won the
+            race) — in which case nothing is counted.
+        """
+        _, quarantine = _fault_plane()
+        moved = quarantine(self.path_for(key), self.directory, reason)
+        if moved is not None:
+            self.stats.quarantined += 1
+        return moved
 
     def catalog(self) -> List[Dict[str, object]]:
         """Headers of every valid entry (provenance listing, tests)."""
@@ -150,6 +246,7 @@ class TraceStore:
         self._write(path, _entry_header(key, source), iter(source))
         self.stats.misses += 1
         self.stats.generated += 1
+        _fault_plane()[0](path)
         return path
 
     def _write(self, path: Path, header: Dict[str, object], accesses) -> None:
@@ -230,6 +327,7 @@ class TraceStore:
             tmp.unlink(missing_ok=True)
             raise
         os.replace(tmp, path)
+        _fault_plane()[0](path)
 
 
 def _tee_write(tmp: Path, header: Dict[str, object], source) -> Iterator:
