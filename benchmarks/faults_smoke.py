@@ -20,12 +20,15 @@ The robustness contract asserted here:
 
 Also emits the perf-trajectory record (ROADMAP item 5): accesses/sec
 per job kind, store hit rate, and wall times for the reference sweep,
-written as JSON (``--bench-out BENCH_6.json`` in CI).
+written as JSON. The record's PR number is parsed from the
+``--bench-out`` filename (``BENCH_<pr>.json``), so each perf-touching
+PR names its own baseline; ``tools/bench_compare.py`` diffs consecutive
+records.
 
 Used by CI; also runnable by hand::
 
     python benchmarks/faults_smoke.py --jobs 4
-    python benchmarks/faults_smoke.py --jobs 4 --bench-out BENCH_6.json
+    python benchmarks/faults_smoke.py --jobs 4 --bench-out BENCH_7.json
 """
 
 from __future__ import annotations
@@ -47,6 +50,21 @@ from repro.experiments import fig9, fig10  # noqa: E402
 from repro.experiments.config import ExperimentConfig  # noqa: E402
 
 FAULT_SPEC = "worker_crash:0.2,trace_corrupt:1"
+
+
+def pr_number_from_bench_out(path) -> "int | None":
+    """The PR number encoded in a ``BENCH_<pr>.json`` filename.
+
+    Keeps the emitted record self-identifying without hardcoding the
+    current PR in this script: CI names the output file, the record
+    follows. Returns None for a non-conforming (or absent) filename.
+    """
+    import re
+
+    if not path:
+        return None
+    match = re.fullmatch(r"BENCH_(\d+)\.json", Path(path).name)
+    return int(match.group(1)) if match else None
 
 
 def declare(config: ExperimentConfig) -> JobGraph:
@@ -167,7 +185,7 @@ def main(argv=None) -> int:
     store_ops = injected.stats.store_hits + injected.stats.store_misses
     record = {
         "bench": "faults_smoke",
-        "pr": 6,
+        "pr": pr_number_from_bench_out(args.bench_out),
         "sweep": {
             "figures": ["fig9", "fig10"],
             "workloads": config.workloads,

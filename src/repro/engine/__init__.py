@@ -42,8 +42,19 @@ from repro.engine.faults import (
     JobExecutionError,
     JobFailure,
     RetryPolicy,
+    RunInterrupted,
 )
 from repro.engine.graph import JobGraph
+from repro.engine.journal import (
+    GracefulShutdown,
+    RunJournal,
+    RunRecord,
+    find_run,
+    job_from_description,
+    list_runs,
+    load_run,
+    runs_root,
+)
 from repro.engine.job import (
     JOB_KINDS,
     KIND_CORRELATION,
@@ -60,9 +71,13 @@ __all__ = [
     "Engine",
     "EngineStats",
     "FaultPlan",
+    "GracefulShutdown",
     "JobExecutionError",
     "JobFailure",
     "JobGraph",
+    "RunInterrupted",
+    "RunJournal",
+    "RunRecord",
     "JOB_KINDS",
     "KIND_CORRELATION",
     "KIND_COVERAGE",
@@ -76,8 +91,13 @@ __all__ = [
     "SimJob",
     "build_prefetcher",
     "execute_job",
+    "find_run",
     "job_consumer",
+    "job_from_description",
     "job_trace",
+    "list_runs",
+    "load_run",
     "materialized_trace",
     "run_group",
+    "runs_root",
 ]

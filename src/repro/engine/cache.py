@@ -255,3 +255,62 @@ class ResultCache:
         sharded = sum(1 for _ in self.directory.glob("??/*.json"))
         flat = sum(1 for _ in self.directory.glob("*.json"))
         return sharded + flat
+
+    def entries(self) -> Iterator[Path]:
+        """Every entry file on disk (sharded first, then legacy flat)."""
+        yield from sorted(self.directory.glob("??/*.json"))
+        yield from sorted(self.directory.glob("*.json"))
+
+
+def inspect_shard(path: Union[str, Path]) -> "tuple[str, str]":
+    """Offline structural verdict on one cache shard (``repro-fsck``).
+
+    Unlike :meth:`ResultCache.load` this needs no :class:`SimJob` — it
+    checks what can be checked from the file alone: JSON parses, the
+    document shape is right, the filename matches the recorded job
+    hash, and the encoded result decodes.
+
+    Returns:
+        ``(status, detail)`` where status is ``"ok"`` (fully valid),
+        ``"stale"`` (valid but written by another cache/package version
+        — a quiet miss at runtime, not damage), or ``"corrupt"``.
+    """
+    path = Path(path)
+    try:
+        with path.open() as handle:
+            document = json.load(handle)
+    except OSError as error:
+        return "corrupt", f"unreadable: {error}"
+    except ValueError as error:
+        return "corrupt", f"bad JSON: {error}"
+    if not isinstance(document, dict):
+        return "corrupt", "document is not an object"
+    for field in ("version", "kind", "job", "result"):
+        if field not in document:
+            return "corrupt", f"missing field {field!r}"
+    job = document["job"]
+    if isinstance(job, dict):
+        payload = json.dumps(job, sort_keys=True).encode()
+        import hashlib
+
+        digest = hashlib.sha256(payload).hexdigest()
+        if path.stem != digest:
+            return "corrupt", (
+                f"filename/job-hash mismatch (content hashes to "
+                f"{digest[:12]}…)"
+            )
+    else:
+        return "corrupt", "job description is not an object"
+    try:
+        decode_result(document["result"])
+    except (ValueError, KeyError, TypeError) as error:
+        return "corrupt", (
+            f"undecodable result: {type(error).__name__}: {error}"
+        )
+    if (document.get("version") != CACHE_VERSION
+            or document.get("repro") != _PACKAGE_VERSION):
+        return "stale", (
+            f"written by cache v{document.get('version')} / "
+            f"repro {document.get('repro')}"
+        )
+    return "ok", ""

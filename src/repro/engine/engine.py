@@ -58,12 +58,13 @@ from repro.engine.exec import (
     record_trace_for_pool,
 )
 from repro.engine.fanout import run_group
-from repro.engine.faultinject import active_plan
+from repro.engine.faultinject import active_plan, maybe_kill_run
 from repro.engine.faults import (
     AttemptLog,
     JobExecutionError,
     JobFailure,
     RetryPolicy,
+    RunInterrupted,
 )
 from repro.engine.graph import JobGraph
 from repro.engine.job import SimJob
@@ -220,6 +221,17 @@ class Engine:
             :class:`~repro.engine.faults.JobExecutionError` instead of
             degrading to a :class:`~repro.engine.faults.JobFailure` in
             the result map.
+        journal: an open :class:`~repro.engine.journal.RunJournal` to
+            record job lifecycle events into (scheduled / attempts /
+            completed / failed). Completions are journaled only *after*
+            the result is durably in the cache, so a journaled-complete
+            job is always recoverable on ``--resume``. None disables
+            journaling (the engine behaves exactly as before).
+        interrupt: a ``threading.Event`` polled at every job dispatch;
+            once set, the engine stops dispatching, cancels in-flight
+            futures, and raises
+            :class:`~repro.engine.faults.RunInterrupted` — the
+            graceful-shutdown hook. None disables the check.
 
     An engine is a context manager; leaving the ``with`` block closes
     the result cache's sqlite catalog handle deterministically.
@@ -237,6 +249,8 @@ class Engine:
         trace_store: Optional[Union[str, Path, TraceStore]] = None,
         retry: Optional[RetryPolicy] = None,
         strict: bool = False,
+        journal: Optional[Any] = None,
+        interrupt: Optional[Any] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache: Optional[ResultCache] = (
@@ -248,6 +262,8 @@ class Engine:
         self.trace_store: Optional[TraceStore] = trace_store
         self.retry = retry if retry is not None else RetryPolicy()
         self.strict = strict
+        self.journal = journal
+        self.interrupt = interrupt
         self.stats = EngineStats()
 
     def run(self, graph: JobGraph) -> ResultMap:
@@ -266,13 +282,20 @@ class Engine:
         self.stats.requested += graph.requested
         self.stats.deduplicated += graph.deduplicated
         cache_before = self.cache.stats.as_dict() if self.cache else None
+        journal = self.journal
         results = ResultMap()
         pending = []
         for job in graph:
+            if journal is not None:
+                journal.job_scheduled(job)
             cached = self.cache.load(job) if self.cache else None
             if cached is not None:
                 self.stats.cache_hits += 1
                 results[job.job_hash] = cached
+                if journal is not None:
+                    journal.job_completed(
+                        job, shard=self.cache.path_for(job), source="cache"
+                    )
             else:
                 pending.append(job)
         try:
@@ -280,10 +303,18 @@ class Engine:
                 for job, result in self._execute(pending):
                     results[job.job_hash] = result
                     if isinstance(result, JobFailure):
+                        if journal is not None:
+                            journal.job_failed(result)
                         continue  # failures are never cached
                     self.stats.executed += 1
+                    shard = None
                     if self.cache is not None:
-                        self.cache.store(job, result)
+                        shard = self.cache.store(job, result)
+                    if journal is not None:
+                        # write-ahead commit record: only after the
+                        # result is durably on disk (or caching is off
+                        # and there is nothing to recover from)
+                        journal.job_completed(job, shard=shard)
         finally:
             if self.cache is not None:
                 after = self.cache.stats.as_dict()
@@ -306,6 +337,25 @@ class Engine:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    def _check_interrupt(self) -> None:
+        """Raise :class:`RunInterrupted` when graceful shutdown is
+        requested — called wherever the engine is about to start (or
+        restart) work, so an interrupt takes effect at the next job
+        boundary rather than mid-simulation."""
+        if self.interrupt is not None and self.interrupt.is_set():
+            journal = self.journal
+            completed = journal.jobs_completed if journal is not None else 0
+            scheduled = journal.jobs_scheduled if journal is not None else 0
+            raise RunInterrupted(completed, max(0, scheduled - completed))
+
+    def _dispatch_gate(self) -> None:
+        """The per-job-dispatch checkpoint: the deterministic
+        ``kill_at_job`` injection point plus the interrupt poll. Called
+        exactly once per first dispatch of a job, so the injector's
+        dispatch index is stable across runs."""
+        maybe_kill_run()
+        self._check_interrupt()
+
     def _execute(self, pending: "list[SimJob]") -> Iterable["tuple[SimJob, Any]"]:
         materialize = (
             self.materialize
@@ -326,6 +376,7 @@ class Engine:
             # compatibility mode: the per-process trace memo already
             # shares generation; bypass the trace plane entirely
             for job in pending:
+                self._dispatch_gate()
                 yield job, self._solo_with_retries(job, True)
             return
         for key, group in _grouped_by_trace_key(pending).items():
@@ -351,6 +402,13 @@ class Engine:
         """
         stats = self.stats
         store = self.trace_store
+        journal = self.journal
+        for job in group:
+            # one dispatch per job even though the group shares a walk —
+            # keeps kill_at_job indices meaningful across modes
+            self._dispatch_gate()
+            if journal is not None:
+                journal.attempt_started(job.job_hash, 1)
         for _ in range(2):
             accesses, generated = self._serial_pass(key)
             try:
@@ -388,8 +446,12 @@ class Engine:
         log = log or AttemptLog(job.job_hash, job.label())
         store = self.trace_store if not materialize else None
         policy = self.retry
+        journal = self.journal
         while True:
+            self._check_interrupt()
             attempt = log.attempts + 1
+            if journal is not None:
+                journal.attempt_started(job.job_hash, attempt)
             before = store.stats.as_dict() if store is not None else None
             try:
                 result = execute_job(job, materialize, store, attempt)
@@ -402,6 +464,11 @@ class Engine:
                     self.stats.quarantined += 1
                     self.stats.replay_fallbacks += 1
                 log.record(error)
+                if journal is not None:
+                    journal.attempt_failed(
+                        job.job_hash, log.attempts,
+                        f"{type(error).__name__}: {error}",
+                    )
                 if log.attempts >= policy.attempts:
                     return self._give_up(log)
                 self.stats.retries += 1
@@ -540,6 +607,7 @@ class _PoolSupervisor:
         try:
             yield from self._record_missing()
             while queue or in_flight:
+                self.engine._check_interrupt()
                 if self.pool is None:  # respawn budget exhausted
                     yield from self._serial_remainder(queue, in_flight)
                     return
@@ -592,11 +660,18 @@ class _PoolSupervisor:
         (the entry is requeued and the caller runs breakage recovery).
         """
         now = time.monotonic()
+        journal = self.engine.journal
         for _ in range(len(queue)):
             job, log, ready_at = queue.popleft()
             if ready_at > now:
                 queue.append((job, log, ready_at))
                 continue
+            if log.attempts == 0:
+                # first dispatch only: retries are not new dispatches,
+                # so kill_at_job indices match the serial schedule
+                self.engine._dispatch_gate()
+            if journal is not None:
+                journal.attempt_started(job.job_hash, log.attempts + 1)
             try:
                 future = self.pool.submit(
                     execute_job_for_pool,
@@ -618,22 +693,31 @@ class _PoolSupervisor:
 
     def _wait_budget(self, queue, in_flight) -> Optional[float]:
         """Seconds to block in wait(): until the nearest deadline or
-        backoff expiry, or indefinitely when neither is pending."""
+        backoff expiry, or indefinitely when neither is pending. With a
+        graceful-shutdown event attached, the wait is bounded (0.3s) so
+        a signal arriving mid-wait is noticed promptly —
+        ``concurrent.futures.wait`` would otherwise sleep through it."""
         now = time.monotonic()
         marks = [
             deadline for _, _, deadline in in_flight.values()
             if deadline is not None
         ]
         marks.extend(ready_at for _, _, ready_at in queue if ready_at > now)
-        if not marks:
-            return None
-        return max(0.0, min(marks) - now)
+        budget = max(0.0, min(marks) - now) if marks else None
+        if self.engine.interrupt is not None:
+            budget = 0.3 if budget is None else min(budget, 0.3)
+        return budget
 
     def _charge(
         self, job: SimJob, log: AttemptLog, error: BaseException, queue
     ) -> Iterable["tuple[SimJob, Any]"]:
         """Record a failed attempt; requeue with backoff or give up."""
         log.record(error)
+        if self.engine.journal is not None:
+            self.engine.journal.attempt_failed(
+                job.job_hash, log.attempts,
+                f"{type(error).__name__}: {error}",
+            )
         if log.attempts >= self.policy.attempts:
             yield job, self.engine._give_up(log)
             return

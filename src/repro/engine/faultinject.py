@@ -30,6 +30,14 @@ lets the third succeed — a fully deterministic retry-ladder vector.
 ``cache_corrupt``
     A freshly stored result-cache shard is truncated to garbage —
     exercises the corrupt-shard warning, quarantine, and re-execution.
+``kill_at_job``
+    The *parent* process dies with ``os._exit`` (no cleanup, no atexit,
+    no journal sealing — a faithful SIGKILL/power-cut stand-in) the
+    moment the engine dispatches its N-th job, where N is the
+    ``@index=N`` parameter (1-based, default 1). Unlike the other kinds
+    this one counts dispatches rather than drawing per site, so "crash
+    at an arbitrary point mid-sweep" is exactly reproducible — the
+    vector behind the crash → ``--resume`` → bit-identical-parity tests.
 
 Every decision is a pure function of ``(kind, site key, attempt,
 seed)`` via a sha256 draw — no global RNG state — so an injected run is
@@ -45,6 +53,7 @@ only the recovery counters differ (that equivalence is what
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -56,10 +65,17 @@ ENV_VAR = "REPRO_FAULT_INJECT"
 
 FAULT_KINDS = (
     "worker_crash", "job_fail", "stall", "trace_corrupt", "cache_corrupt",
+    "kill_at_job",
 )
 
 #: exit status an injected worker crash dies with (diagnostic only)
 CRASH_EXIT_CODE = 113
+
+#: exit status an injected whole-process kill dies with (``kill_at_job``)
+KILL_EXIT_CODE = 86
+
+#: dispatch counter backing ``kill_at_job`` (parent process only)
+_DISPATCHES = 0
 
 
 class InjectedFault(RuntimeError):
@@ -152,10 +168,11 @@ _CACHED: Optional[Tuple[str, FaultPlan]] = None
 def active_plan() -> FaultPlan:
     """The plan from ``REPRO_FAULT_INJECT``, re-parsed when the variable
     changes (cheap per-call check, so tests can flip it at runtime)."""
-    global _CACHED
+    global _CACHED, _DISPATCHES
     text = os.environ.get(ENV_VAR, "").strip()
     if _CACHED is None or _CACHED[0] != text:
         _CACHED = (text, FaultPlan.parse(text) if text else FaultPlan({}))
+        _DISPATCHES = 0  # a new plan restarts the kill_at_job countdown
     return _CACHED[1]
 
 
@@ -196,6 +213,41 @@ def maybe_fail_job(job_hash: str, attempt: int) -> None:
         raise InjectedFault(
             f"injected job failure (job {job_hash[:12]}, attempt {attempt})"
         )
+
+
+def maybe_kill_run() -> None:
+    """Whole-process kill point, called once per engine job dispatch.
+
+    With ``kill_at_job@index=N`` active, the N-th dispatch (1-based,
+    counted in the parent only — pool workers never kill the run)
+    terminates the process via ``os._exit`` with
+    :data:`KILL_EXIT_CODE`: no finalizers, no journal sealing, exactly
+    the footprint of a SIGKILL mid-sweep. The rate field is ignored —
+    this kind is positional, not probabilistic.
+    """
+    global _DISPATCHES
+    plan = active_plan()
+    spec = plan.spec("kill_at_job")
+    if spec is None or _in_pool_worker():
+        return
+    _DISPATCHES += 1
+    if _DISPATCHES == int(spec.param("index", "1")):
+        sys.stderr.write(
+            f"[faultinject: kill_at_job fired at dispatch {_DISPATCHES}]\n"
+        )
+        sys.stderr.flush()
+        # take live pool workers down too — a real SIGKILL of the run
+        # kills the whole process group, and orphaned workers would
+        # otherwise linger forever holding inherited pipe fds (hanging
+        # any harness that reads our stdout/stderr to EOF)
+        import multiprocessing
+
+        for child in multiprocessing.active_children():
+            try:
+                child.kill()
+            except (OSError, ValueError):
+                pass
+        os._exit(KILL_EXIT_CODE)
 
 
 def _already_faulted(path: Path) -> bool:

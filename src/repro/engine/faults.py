@@ -131,6 +131,27 @@ class JobExecutionError(RuntimeError):
         self.failure = failure
 
 
+class RunInterrupted(BaseException):
+    """A cooperative shutdown request stopped the run between jobs.
+
+    Raised by the engine's dispatch gate when the graceful-shutdown
+    event is set (SIGINT/SIGTERM): no new jobs are dispatched, in-flight
+    futures are cancelled, and the exception propagates to the runner,
+    which seals the journal as ``interrupted`` and exits with the
+    resumable code 3. Derives from :class:`BaseException` (like
+    ``KeyboardInterrupt``) so ordinary ``except Exception`` recovery
+    paths never swallow it.
+    """
+
+    def __init__(self, completed: int = 0, pending: int = 0) -> None:
+        super().__init__(
+            f"run interrupted ({completed} job(s) journaled complete, "
+            f"{pending} pending)"
+        )
+        self.completed = completed
+        self.pending = pending
+
+
 @dataclass
 class AttemptLog:
     """Mutable per-job attempt trail the engine builds a failure from."""

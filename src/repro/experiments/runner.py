@@ -26,12 +26,26 @@ shares it, across invocations.
 Execution is fault-tolerant: every job runs under a retry policy
 (``--retries``, ``--job-timeout``), dead workers are respawned with only
 the lost jobs requeued, and corrupt trace/cache entries are quarantined
-and regenerated. The **exit code is a contract**: ``0`` means a clean
-run, ``1`` means the run completed but some recovery path fired
-(retries, quarantines, fallbacks — including jobs that failed
-permanently and surfaced as structured failures), and ``2`` means a hard
-failure under ``--strict`` (the first job to exhaust its retries aborts
-the run).
+and regenerated.
+
+Every cached invocation is also a **durable run**: a write-ahead journal
+under ``<cache-dir>/runs/<run_id>/`` records the run header and every
+job lifecycle event, fsync'd as it happens, so a SIGINT, OOM kill or
+power cut costs only the jobs that had not yet completed. ``--resume
+<run_id|last>`` rebuilds the job graph from the journal and re-executes
+only the incomplete jobs (completed ones are served from the result
+cache), producing output bit-identical to an uninterrupted run;
+``--list-runs`` enumerates journaled runs and their status.
+
+The **exit code is a contract**: ``0`` means a clean run, ``1`` means
+the run completed but some recovery path fired (retries, quarantines,
+fallbacks — including jobs that failed permanently and surfaced as
+structured failures), ``2`` means a hard failure under ``--strict`` (the
+first job to exhaust its retries aborts the run), and ``3`` means the
+run was interrupted gracefully (SIGINT/SIGTERM) with a sealed,
+resumable journal — a second SIGINT skips the drain and hard-aborts
+(exit 130, the journal is left ``running`` and detected as ``crashed``,
+which is equally resumable).
 """
 
 from __future__ import annotations
@@ -42,7 +56,19 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.engine import Engine, JobExecutionError, JobGraph, RetryPolicy
+from repro.engine import (
+    Engine,
+    GracefulShutdown,
+    JobExecutionError,
+    JobGraph,
+    RetryPolicy,
+    RunInterrupted,
+    RunJournal,
+    find_run,
+    list_runs,
+    runs_root,
+)
+from repro.engine.journal import JournalError, config_hash, mark_resumed
 from repro.tracestore import default_trace_store_dir
 from repro.experiments import (
     baselines,
@@ -144,6 +170,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(per-process memo) instead of streaming it; results are "
         "bit-identical, but peak memory grows with trace length",
     )
+    durable_group = parser.add_argument_group("durable runs")
+    durable_group.add_argument(
+        "--resume", default=None, metavar="RUN",
+        help="resume a journaled run by id (or 'last'): rebuild its job "
+        "graph from the journal under <cache-dir>/runs/ and re-execute "
+        "only the jobs without a durable result",
+    )
+    durable_group.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="explicit run id for the journal directory "
+        "(default: generated timestamp-pid id)",
+    )
+    durable_group.add_argument(
+        "--no-journal", action="store_true",
+        help="do not write the run journal (journaling is on whenever "
+        "the result cache is; --no-cache also disables it)",
+    )
+    durable_group.add_argument(
+        "--list-runs", action="store_true",
+        help="list journaled runs under <cache-dir>/runs/ with their "
+        "status (clean / degraded / failed / interrupted / crashed) "
+        "and progress, then exit",
+    )
     export_group = parser.add_argument_group("export")
     export_group.add_argument(
         "--export", choices=("json", "csv"), default=None,
@@ -171,7 +220,8 @@ def make_config(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
-def make_engine(args: argparse.Namespace) -> Engine:
+def make_engine(args: argparse.Namespace, journal=None,
+                interrupt=None) -> Engine:
     trace_store = args.trace_store
     if trace_store is None:
         trace_store = default_trace_store_dir()
@@ -184,6 +234,8 @@ def make_engine(args: argparse.Namespace) -> Engine:
             attempts=max(1, args.retries), timeout=args.job_timeout
         ),
         strict=args.strict,
+        journal=journal,
+        interrupt=interrupt,
     )
 
 
@@ -225,11 +277,84 @@ def _export(name: str, result, fmt: str, directory: Path) -> Optional[Path]:
     return writer(rows, path)
 
 
+def format_runs(root: Path) -> str:
+    """The ``--list-runs`` table: one line per journaled run."""
+    records = list_runs(root)
+    if not records:
+        return f"no journaled runs under {root}"
+    lines = []
+    for record in records:
+        status = record.status()
+        if record.manifest.get("resumed_by"):
+            status += f" → resumed by {record.manifest['resumed_by']}"
+        elif record.resumable():
+            status += " (resumable)"
+        scheduled = len(record.scheduled) or record.manifest.get(
+            "jobs_scheduled", 0
+        )
+        experiments = record.header.get("experiments") or []
+        lines.append(
+            f"{record.run_id:<28} {status:<24} "
+            f"{len(record.completed)}/{scheduled} jobs  "
+            f"started {record.started or '?'}  "
+            f"[{' '.join(experiments)}]"
+        )
+    return "\n".join(lines)
+
+
+def _resolve_resume(args: argparse.Namespace) -> argparse.Namespace:
+    """Turn ``--resume RUN`` into the original run's argument set.
+
+    The journal header records the original invocation's argv; it is
+    re-parsed so the resumed run declares the *identical* job graph.
+    The current invocation's engine-shape flags (``--jobs``, explicit
+    ``--cache-dir``) override the recorded ones — resuming a parallel
+    run serially (or vice versa) is legal and bit-identical.
+    """
+    record = find_run(runs_root(args.cache_dir), args.resume)
+    resumed = build_parser().parse_args(record.argv)
+    if resumed.resume:
+        # a resume-of-a-resume recorded its own original argv; the
+        # header argv is always the *effective* experiment invocation
+        resumed.resume = None
+    resumed.cache_dir = args.cache_dir
+    if args.jobs != 1:
+        resumed.jobs = args.jobs
+    if args.export is not None:
+        resumed.export = args.export
+    if args.export_dir != build_parser().get_default("export_dir"):
+        resumed.export_dir = args.export_dir
+    resumed.run_id = args.run_id
+    resumed.no_journal = args.no_journal
+    incomplete = record.incomplete()
+    print(
+        f"[resume {record.run_id}: {len(record.completed)} of "
+        f"{len(record.scheduled)} journaled jobs already durable, "
+        f"{len(incomplete)} to re-execute]",
+        file=sys.stderr,
+    )
+    resumed._resume_record = record
+    return resumed
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    original_argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
     if args.list_available:
         print(list_available())
         return 0
+    if args.list_runs:
+        print(format_runs(runs_root(args.cache_dir)))
+        return 0
+    resume_record = None
+    if args.resume is not None:
+        try:
+            args = _resolve_resume(args)
+        except JournalError as error:
+            print(f"[resume: {error}]", file=sys.stderr)
+            return 2
+        resume_record = args._resume_record
+        original_argv = list(resume_record.argv)
     if args.experiment is None:
         build_parser().error("an experiment name (or --list) is required")
     config = make_config(args)
@@ -240,43 +365,109 @@ def main(argv: Optional[List[str]] = None) -> int:
     started = time.time()
     graph = JobGraph()
     plans = {name: EXPERIMENTS[name].declare(config, graph) for name in names}
-    with make_engine(args) as engine:
-        try:
-            results = engine.run(graph)
-        except JobExecutionError as error:
-            print(f"[engine: strict abort — {error.failure.summary()}]",
-                  file=sys.stderr)
-            print(f"[{engine.stats.format()}]", file=sys.stderr)
-            return 2
-        failures = results.failures()
-        for failure in failures:
-            print(f"[engine: {failure.summary()}]", file=sys.stderr)
-        for name in names:
-            module = EXPERIMENTS[name]
+
+    journal = None
+    if not args.no_cache and not args.no_journal:
+        header = {
+            "argv": original_argv,
+            "experiments": names,
+            "config": config_hash(config),
+        }
+        if resume_record is not None:
+            header["resumed_from"] = resume_record.run_id
+        journal = RunJournal.create(
+            runs_root(args.cache_dir), run_id=args.run_id, header=header
+        )
+        if resume_record is not None:
+            mark_resumed(resume_record, journal.run_id)
+            _cross_check_resume(resume_record, graph)
+    shutdown = GracefulShutdown().install()
+    try:
+        with make_engine(args, journal=journal,
+                         interrupt=shutdown.event) as engine:
             try:
-                output = module.collect(config, plans[name], results)
-                table = module.format_table(output)
-                exported = (
-                    _export(name, output, args.export, Path(args.export_dir))
-                    if args.export else None
-                )
-            except Exception:
-                if not failures:
-                    raise
-                # a failed job leaves a hole this experiment needs; the
-                # run still surfaces every other table (degraded, exit 1)
-                print(f"[{name}: table skipped — {len(failures)} job(s) "
-                      "failed permanently]", file=sys.stderr)
-                print()
-                continue
-            print(table)
-            if exported is not None:
-                print(f"[{name}: rows exported to {exported}]",
+                results = engine.run(graph)
+            except JobExecutionError as error:
+                print(f"[engine: strict abort — {error.failure.summary()}]",
                       file=sys.stderr)
-            print()
-        print(f"[{engine.stats.format()}, {time.time() - started:.1f}s]",
-              file=sys.stderr)
-        return 1 if engine.stats.degraded else 0
+                print(f"[{engine.stats.format()}]", file=sys.stderr)
+                if journal is not None:
+                    journal.finish("failed")
+                return 2
+            except RunInterrupted as stop:
+                print(f"[engine: {stop}]", file=sys.stderr)
+                if journal is not None:
+                    journal.finish("interrupted")
+                    print(
+                        f"[run {journal.run_id} interrupted — resume with "
+                        f"--resume {journal.run_id} (or --resume last)]",
+                        file=sys.stderr,
+                    )
+                return 3
+            failures = results.failures()
+            for failure in failures:
+                print(f"[engine: {failure.summary()}]", file=sys.stderr)
+            for name in names:
+                module = EXPERIMENTS[name]
+                try:
+                    output = module.collect(config, plans[name], results)
+                    table = module.format_table(output)
+                    exported = (
+                        _export(name, output, args.export,
+                                Path(args.export_dir))
+                        if args.export else None
+                    )
+                except Exception:
+                    if not failures:
+                        raise
+                    # a failed job leaves a hole this experiment needs;
+                    # the run still surfaces every other table
+                    # (degraded, exit 1)
+                    print(f"[{name}: table skipped — {len(failures)} job(s) "
+                          "failed permanently]", file=sys.stderr)
+                    print()
+                    continue
+                print(table)
+                if exported is not None:
+                    print(f"[{name}: rows exported to {exported}]",
+                          file=sys.stderr)
+                print()
+            print(f"[{engine.stats.format()}, {time.time() - started:.1f}s]",
+                  file=sys.stderr)
+            degraded = engine.stats.degraded
+            if journal is not None:
+                journal.finish("degraded" if degraded else "clean")
+            return 1 if degraded else 0
+    except KeyboardInterrupt:
+        # second SIGINT: hard abort — the journal is deliberately left
+        # unsealed (status 'running', dead pid → listed as 'crashed',
+        # still resumable)
+        print("[hard abort]", file=sys.stderr)
+        return 130
+    finally:
+        shutdown.uninstall()
+        if journal is not None:
+            journal.close()
+
+
+def _cross_check_resume(record, graph: JobGraph) -> None:
+    """Warn when the resumed graph and the journal disagree.
+
+    A code or config change between the runs shows up as hash drift;
+    the resume still executes (whatever the cache can satisfy it will),
+    but parity with the original run is no longer implied.
+    """
+    current = {job.job_hash for job in graph}
+    journaled = set(record.scheduled)
+    if current != journaled:
+        missing = len(journaled - current)
+        extra = len(current - journaled)
+        print(
+            f"[resume: job graph drifted since {record.run_id} "
+            f"({missing} journaled job(s) no longer declared, {extra} "
+            "new) — results may differ from the original run]",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

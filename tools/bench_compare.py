@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Perf-trajectory comparator: fail CI on a large throughput regression.
+
+Each perf-touching PR's CI run emits a ``BENCH_<pr>.json`` record
+(``benchmarks/faults_smoke.py --bench-out``); the previous PR's record
+is committed at the repo root. This script diffs the two and fails when
+any job kind's replay throughput (``accesses_per_second``) dropped by
+more than the threshold (default 30%) — machine noise on shared CI
+runners is real, so the gate is deliberately loose; it catches
+cliff-edge regressions, not percentage points. Wall-time and recovery
+counters are printed for context but never gate.
+
+Usage::
+
+    python tools/bench_compare.py --current BENCH_7.json --baseline BENCH_6.json
+    python tools/bench_compare.py --current BENCH_7.json --baseline BENCH_6.json --threshold 0.5
+
+Exit code: ``0`` within threshold (or nothing comparable), ``1`` on a
+regression beyond it, ``2`` on unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_record(path: Path) -> dict:
+    try:
+        record = json.loads(path.read_text())
+    except OSError as error:
+        raise SystemExit(f"bench_compare: cannot read {path}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"bench_compare: {path} is not JSON: {error}")
+    if not isinstance(record, dict) or "kinds" not in record:
+        raise SystemExit(
+            f"bench_compare: {path} is not a faults_smoke bench record"
+        )
+    return record
+
+
+def compare(baseline: dict, current: dict,
+            threshold: float) -> "tuple[list[str], list[str]]":
+    """Returns ``(report_lines, regression_lines)``."""
+    lines = []
+    regressions = []
+    base_kinds = baseline.get("kinds", {})
+    cur_kinds = current.get("kinds", {})
+    for kind in sorted(base_kinds):
+        base = base_kinds[kind].get("accesses_per_second")
+        cur = cur_kinds.get(kind, {}).get("accesses_per_second")
+        if not base or not cur:
+            regressions.append(
+                f"{kind}: missing from the current record"
+                if cur is None else f"{kind}: unusable throughput numbers"
+            )
+            continue
+        change = (cur - base) / base
+        line = (
+            f"{kind:<12} {base:>12.1f} → {cur:>12.1f} acc/s "
+            f"({change:+.1%})"
+        )
+        if change < -threshold:
+            regressions.append(
+                f"{kind}: throughput fell {-change:.1%} "
+                f"(threshold {threshold:.0%})"
+            )
+            line += "  REGRESSION"
+        lines.append(line)
+    for kind in sorted(set(cur_kinds) - set(base_kinds)):
+        cur = cur_kinds[kind].get("accesses_per_second")
+        lines.append(f"{kind:<12} {'(new)':>12} → {cur:>12.1f} acc/s")
+    base_wall = baseline.get("clean_wall_seconds")
+    cur_wall = current.get("clean_wall_seconds")
+    if base_wall and cur_wall:
+        lines.append(
+            f"{'clean wall':<12} {base_wall:>11.1f}s → {cur_wall:>11.1f}s "
+            "(informational)"
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, metavar="BENCH_N.json",
+                        help="this PR's bench record")
+    parser.add_argument("--baseline", required=True, metavar="BENCH_M.json",
+                        help="the previous committed bench record")
+    parser.add_argument(
+        "--threshold", type=float, default=0.30, metavar="FRACTION",
+        help="maximum tolerated per-kind throughput drop "
+        "(default: 0.30 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be a fraction in (0, 1)")
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_file():
+        # the first PR of a new bench family has no baseline to honor
+        print(f"bench_compare: no baseline at {baseline_path}; "
+              "nothing to compare (pass)")
+        return 0
+    baseline = load_record(baseline_path)
+    current = load_record(Path(args.current))
+    lines, regressions = compare(baseline, current, args.threshold)
+    tag_base = baseline.get("pr", "?")
+    tag_cur = current.get("pr", "?")
+    print(f"bench_compare: PR {tag_base} baseline vs PR {tag_cur} current")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        for regression in regressions:
+            print(f"FAIL: {regression}", file=sys.stderr)
+        return 1
+    print(f"OK: all kinds within {args.threshold:.0%} of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
