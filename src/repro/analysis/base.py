@@ -13,9 +13,12 @@ and the analysis' own window sizes, never by the access count).
 from __future__ import annotations
 
 import abc
+from collections import deque
 from typing import Any, Callable, Iterable, Optional
 
 from repro.common.config import SystemConfig
+from repro.kernels import KERNEL_VECTOR, resolve_kernel
+from repro.kernels.prepass import AccessChunk, iter_trace_chunks
 from repro.memsys.hierarchy import Hierarchy, ServiceLevel
 from repro.prefetch.sms.generations import ActiveGenerationTable
 from repro.trace.events import MemoryAccess
@@ -55,6 +58,26 @@ class StreamingAnalysis(abc.ABC):
             )
         self._update(access)
 
+    def update_block(self, chunk: AccessChunk) -> None:
+        """Observe one whole :class:`~repro.kernels.AccessChunk`.
+
+        The chunk-level entry point for the vector kernel: the lifecycle
+        check runs once per chunk and the per-access hook is driven by a
+        C-level ``map``. The base implementation feeds ``_update`` in
+        order — bit-identical to calling :meth:`update` per access —
+        and subclasses whose state updates are associative over a chunk
+        (hierarchy-replay accounting with precomputed block ids)
+        override it with a batched version.
+
+        Raises:
+            RuntimeError: if the analysis has already been finalized.
+        """
+        if self._finalized:
+            raise RuntimeError(
+                f"{type(self).__name__}.update_block() called after finalize()"
+            )
+        deque(map(self._update, chunk.accesses), maxlen=0)
+
     def finalize(self) -> Any:
         """Close the analysis and return its result (exactly once).
 
@@ -71,16 +94,27 @@ class StreamingAnalysis(abc.ABC):
         self._finalized = True
         return self._finalize()
 
-    def consume(self, accesses: Iterable[MemoryAccess]) -> Any:
+    def consume(
+        self, accesses: Iterable[MemoryAccess], kernel: Optional[str] = None
+    ) -> Any:
         """Drive the full lifecycle over ``accesses`` and return the result.
 
         Args:
             accesses: any iterable of trace records (``Trace``,
                 ``TraceSource``, generator, ...), walked exactly once.
+            kernel: trace-walk kernel (see :func:`repro.kernels.resolve_kernel`);
+                the vector kernel pumps :meth:`update_block` per chunk,
+                the python kernel :meth:`update` per record —
+                bit-identical results either way.
 
         Returns:
             Whatever :meth:`finalize` returns.
         """
+        if resolve_kernel(kernel) == KERNEL_VECTOR:
+            update_block = self.update_block
+            for chunk in iter_trace_chunks(accesses):
+                update_block(chunk)
+            return self.finalize()
         update = self.update
         for access in accesses:
             update(access)
@@ -123,6 +157,7 @@ class HierarchyReplayAnalysis(StreamingAnalysis):
     ) -> None:
         super().__init__()
         self._amap = system.address_map
+        self._block_bits = self._amap.block_bits
         self._hierarchy = Hierarchy(system)
         self._agt: Optional[ActiveGenerationTable] = (
             ActiveGenerationTable(
@@ -132,8 +167,23 @@ class HierarchyReplayAnalysis(StreamingAnalysis):
             else None
         )
 
+    def update_block(self, chunk: AccessChunk) -> None:
+        """Batched hierarchy replay: block ids come from the chunk's
+        vectorized pre-pass instead of a per-access ``block_of`` call,
+        and the per-access hook runs inside one C-driven ``map``."""
+        if self._finalized:
+            raise RuntimeError(
+                f"{type(self).__name__}.update_block() called after finalize()"
+            )
+        deque(
+            map(self._step, chunk.accesses, chunk.blocks_for(self._block_bits)),
+            maxlen=0,
+        )
+
     def _update(self, access: MemoryAccess) -> None:
-        block = self._amap.block_of(access.address)
+        self._step(access, access.address >> self._block_bits)
+
+    def _step(self, access: MemoryAccess, block: int) -> None:
         outcome = self._hierarchy.access(block)
         offchip = outcome.level is ServiceLevel.MEMORY
         agt = self._agt

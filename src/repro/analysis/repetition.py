@@ -164,6 +164,14 @@ class RepetitionAnalysis(StreamingAnalysis):
     def _update(self, access: MemoryAccess) -> None:
         self._extractor.update(access)
 
+    def update_block(self, chunk) -> None:
+        """Forward whole chunks to the wrapped extractor's batched replay."""
+        if self._finalized:
+            raise RuntimeError(
+                f"{type(self).__name__}.update_block() called after finalize()"
+            )
+        self._extractor.update_block(chunk)
+
     def _finalize(self) -> Tuple[RepetitionBreakdown, RepetitionBreakdown]:
         misses, triggers = self._extractor.finalize()
         return classify_repetition(misses), classify_repetition(triggers)

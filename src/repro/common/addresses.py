@@ -35,25 +35,23 @@ class AddressMap:
             raise ValueError(f"region_bytes must be a power of two, got {self.region_bytes}")
         if self.region_bytes < self.block_bytes:
             raise ValueError("region_bytes must be >= block_bytes")
-
-    @property
-    def block_bits(self) -> int:
-        """Number of byte-offset bits within a block."""
-        return self.block_bytes.bit_length() - 1
-
-    @property
-    def region_bits(self) -> int:
-        """Number of byte-offset bits within a region."""
-        return self.region_bytes.bit_length() - 1
-
-    @property
-    def blocks_per_region(self) -> int:
-        return self.region_bytes // self.block_bytes
-
-    @property
-    def region_block_bits(self) -> int:
-        """Number of block-offset bits within a region."""
-        return self.blocks_per_region.bit_length() - 1
+        # Derived geometry, precomputed once: these sit on every
+        # per-access path (block/region mapping in the caches,
+        # prefetchers and analyses), so they must be plain attribute
+        # loads, not per-call recomputation. Deliberately not dataclass
+        # fields — equality, hash, repr and the constructor signature
+        # depend only on the two sizes above; ``object.__setattr__``
+        # is the frozen-dataclass idiom for derived attributes.
+        set_attr = object.__setattr__
+        set_attr(self, "block_bits", self.block_bytes.bit_length() - 1)
+        set_attr(self, "region_bits", self.region_bytes.bit_length() - 1)
+        blocks_per_region = self.region_bytes // self.block_bytes
+        set_attr(self, "blocks_per_region", blocks_per_region)
+        set_attr(
+            self, "region_block_bits", blocks_per_region.bit_length() - 1
+        )
+        set_attr(self, "_region_offset_mask", blocks_per_region - 1)
+        set_attr(self, "_region_base_mask", ~(blocks_per_region - 1))
 
     # -- byte address -> coarser granularities ------------------------------
 
@@ -73,11 +71,11 @@ class AddressMap:
 
     def offset_in_region(self, block: int) -> int:
         """Block offset (0 .. blocks_per_region-1) of ``block`` in its region."""
-        return block & (self.blocks_per_region - 1)
+        return block & self._region_offset_mask
 
     def region_base_block(self, block: int) -> int:
         """First block number of the region containing ``block``."""
-        return block & ~(self.blocks_per_region - 1)
+        return block & self._region_base_mask
 
     def block_in_region(self, region: int, offset: int) -> int:
         """Block number at ``offset`` within ``region``."""

@@ -13,6 +13,10 @@ from typing import Callable, Generic, Iterator, Optional, Tuple, TypeVar
 K = TypeVar("K")
 V = TypeVar("V")
 
+#: absent-key sentinel — ``get`` runs on per-access predictor paths, and a
+#: single ``dict.get`` beats the membership-test-then-index double lookup
+_MISSING = object()
+
 
 class LRUTable(Generic[K, V]):
     """Fixed-capacity key/value table with least-recently-used replacement."""
@@ -42,11 +46,12 @@ class LRUTable(Generic[K, V]):
 
     def get(self, key: K, touch: bool = True) -> Optional[V]:
         """Return the value for ``key`` (or None), refreshing recency."""
-        if key not in self._data:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
             return None
         if touch:
             self._data.move_to_end(key)
-        return self._data[key]
+        return value
 
     def peek(self, key: K) -> Optional[V]:
         """Return the value for ``key`` without refreshing recency."""

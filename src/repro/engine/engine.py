@@ -68,6 +68,7 @@ from repro.engine.faults import (
 )
 from repro.engine.graph import JobGraph
 from repro.engine.job import SimJob
+from repro.kernels import resolve_kernel
 from repro.tracestore import TraceStore
 from repro.workloads.registry import stream_workload
 
@@ -232,6 +233,11 @@ class Engine:
             futures, and raises
             :class:`~repro.engine.faults.RunInterrupted` — the
             graceful-shutdown hook. None disables the check.
+        kernel: trace-walk kernel (``"python"``/``"vector"``), resolved
+            once at construction (explicit argument > ``REPRO_KERNEL``
+            environment variable > vector-when-numpy-importable). An
+            execution detail only: it never enters job hashes or cache
+            keys, and both kernels produce bit-identical results.
 
     An engine is a context manager; leaving the ``with`` block closes
     the result cache's sqlite catalog handle deterministically.
@@ -251,8 +257,10 @@ class Engine:
         strict: bool = False,
         journal: Optional[Any] = None,
         interrupt: Optional[Any] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
+        self.kernel = resolve_kernel(kernel)
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if (cache_dir and use_cache) else None
         )
@@ -412,7 +420,7 @@ class Engine:
         for _ in range(2):
             accesses, generated = self._serial_pass(key)
             try:
-                results = run_group(group, accesses)
+                results = run_group(group, accesses, self.kernel)
             except Exception as error:
                 if store is not None and store.quarantine_if_damaged(
                     key, f"replay failed mid-walk: {error}"
@@ -454,7 +462,9 @@ class Engine:
                 journal.attempt_started(job.job_hash, attempt)
             before = store.stats.as_dict() if store is not None else None
             try:
-                result = execute_job(job, materialize, store, attempt)
+                result = execute_job(
+                    job, materialize, store, attempt, self.kernel
+                )
             except Exception as error:
                 if store is not None and store.quarantine_if_damaged(
                     job.trace_key, f"replay failed: {error}"
@@ -506,7 +516,10 @@ class Engine:
         generated = 0 if store.stats.hits > before["hits"] else 1
         # fold replay/recording accounting in after the walk completes,
         # so bytes_replayed from the lazy iteration are captured
-        return _accounted(source, store, before, self.stats, generated), generated
+        accounted = _AccountedSource(
+            source, store, before, self.stats, generated
+        )
+        return accounted, generated
 
     # -- parallel: per-job futures under a supervising retry loop ----------
 
@@ -679,6 +692,7 @@ class _PoolSupervisor:
                     materialize=self.engine.materialize,
                     trace_store_dir=self.store_dir,
                     attempt=log.attempts + 1,
+                    kernel=self.engine.kernel,
                 )
             except (BrokenProcessPool, RuntimeError):
                 queue.append((job, log, ready_at))
@@ -858,12 +872,37 @@ def _stats_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int
     return {name: after[name] - before[name] for name in after}
 
 
-def _accounted(source, store: TraceStore, before: Dict[str, int],
-               stats: EngineStats, generated: int):
-    """Iterate ``source`` once, then fold the store's accounting delta
-    (minus the generation passes the engine already counted) into
-    ``stats``."""
-    yield from source
-    delta = _stats_delta(store.stats.as_dict(), before)
-    delta["generated"] -= generated
-    stats.absorb_trace_stats(delta)
+class _AccountedSource:
+    """A single-pass view of a trace-store source that folds the store's
+    accounting delta (minus the generation passes the engine already
+    counted) into ``stats`` when the walk completes.
+
+    Exposes both walk shapes so the fan-out pump picks whichever its
+    kernel wants: per-record iteration, or native chunks (a recorded
+    entry decodes whole stored chunks columnar; a record-during-walk
+    generation pass is batched generically with the tee side effects
+    intact).
+    """
+
+    __slots__ = ("_source", "_store", "_before", "_stats", "_generated")
+
+    def __init__(self, source, store: TraceStore, before: Dict[str, int],
+                 stats: EngineStats, generated: int) -> None:
+        self._source = source
+        self._store = store
+        self._before = before
+        self._stats = stats
+        self._generated = generated
+
+    def _fold(self) -> None:
+        delta = _stats_delta(self._store.stats.as_dict(), self._before)
+        delta["generated"] -= self._generated
+        self._stats.absorb_trace_stats(delta)
+
+    def __iter__(self):
+        yield from self._source
+        self._fold()
+
+    def iter_chunks(self):
+        yield from self._source.iter_chunks()
+        self._fold()

@@ -216,25 +216,27 @@ def analysis_for_job(job: SimJob) -> Any:
     raise ValueError(f"job kind {job.kind!r} is not an analysis kind")
 
 
-def _run_coverage(job: SimJob, trace: TraceLike) -> Any:
+def _run_coverage(job: SimJob, trace: TraceLike, kernel: Optional[str]) -> Any:
     prefetcher = build_prefetcher(job.prefetcher, job.workload)
-    return SimulationDriver(job.system, prefetcher).run(trace)
+    return SimulationDriver(job.system, prefetcher).run(trace, kernel)
 
 
-def _run_timing(job: SimJob, trace: TraceLike) -> Any:
+def _run_timing(job: SimJob, trace: TraceLike, kernel: Optional[str]) -> Any:
     # one shared walk: the driver classifies each access and feeds the
     # incremental timing model in the same pass (no service list)
     prefetcher = build_prefetcher(job.prefetcher, job.workload)
     model = timing_model_for_job(job)
-    SimulationDriver(job.system, prefetcher, service_consumer=model).run(trace)
+    SimulationDriver(job.system, prefetcher, service_consumer=model).run(
+        trace, kernel
+    )
     return model.finalize()
 
 
-def _run_analysis(job: SimJob, trace: TraceLike) -> Any:
-    return analysis_for_job(job).consume(trace)
+def _run_analysis(job: SimJob, trace: TraceLike, kernel: Optional[str]) -> Any:
+    return analysis_for_job(job).consume(trace, kernel)
 
 
-_EXECUTORS: Dict[str, Callable[[SimJob, TraceLike], Any]] = {
+_EXECUTORS: Dict[str, Callable[[SimJob, TraceLike, Optional[str]], Any]] = {
     KIND_COVERAGE: _run_coverage,
     KIND_TIMING: _run_timing,
     KIND_JOINT: _run_analysis,
@@ -248,6 +250,7 @@ def execute_job(
     materialize: Optional[bool] = None,
     trace_store: Optional["TraceStore"] = None,
     attempt: int = 1,
+    kernel: Optional[str] = None,
 ) -> Any:
     """Run one job to completion and return its result dataclass.
 
@@ -261,10 +264,15 @@ def execute_job(
             instead of being regenerated.
         attempt: 1-based attempt number (retry ladder); folded into the
             fault-injection draw so a retried job re-rolls its faults.
+        kernel: trace-walk kernel (``"python"``/``"vector"``/None, see
+            :func:`repro.kernels.resolve_kernel`). An execution detail:
+            it never enters the job hash, and both kernels produce
+            bit-identical results.
 
     Returns:
         The kind-specific result dataclass; bit-identical across all
-        trace modes, serial/parallel execution and cache round-trips.
+        trace modes, kernels, serial/parallel execution and cache
+        round-trips.
 
     A mid-walk :class:`~repro.tracestore.TraceFormatError` from a store
     replay (a corrupt or truncated entry caught by the codec's CRC) is
@@ -275,7 +283,9 @@ def execute_job(
     if materialize is None:
         materialize = default_materialize()
     maybe_fail_job(job.job_hash, attempt)
-    return _EXECUTORS[job.kind](job, job_trace(job, materialize, trace_store))
+    return _EXECUTORS[job.kind](
+        job, job_trace(job, materialize, trace_store), kernel
+    )
 
 
 def execute_job_recovering(
@@ -283,6 +293,7 @@ def execute_job_recovering(
     materialize: Optional[bool] = None,
     trace_store: Optional["TraceStore"] = None,
     attempt: int = 1,
+    kernel: Optional[str] = None,
 ) -> Any:
     """:func:`execute_job` with the replay→regeneration fallback wired.
 
@@ -297,9 +308,9 @@ def execute_job_recovering(
     and propagates to the caller's retry ladder.
     """
     if trace_store is None:
-        return execute_job(job, materialize, None, attempt)
+        return execute_job(job, materialize, None, attempt, kernel)
     try:
-        return execute_job(job, materialize, trace_store, attempt)
+        return execute_job(job, materialize, trace_store, attempt, kernel)
     except Exception as error:
         damaged = trace_store.quarantine_if_damaged(
             job.trace_key, f"replay failed: {error}"
@@ -310,7 +321,7 @@ def execute_job_recovering(
         if not damaged and not trace_store.was_quarantined(job.trace_key):
             raise
         trace_store.stats.replay_fallbacks += 1
-        return execute_job(job, materialize, trace_store, attempt)
+        return execute_job(job, materialize, trace_store, attempt, kernel)
 
 
 def execute_job_with_hash(
@@ -325,6 +336,7 @@ def execute_job_for_pool(
     materialize: Optional[bool] = None,
     trace_store_dir: Optional[Union[str, Path]] = None,
     attempt: int = 1,
+    kernel: Optional[str] = None,
 ) -> Tuple[str, Any, Dict[str, int]]:
     """Worker-side entry: result plus the trace-plane accounting delta.
 
@@ -343,7 +355,7 @@ def execute_job_for_pool(
         from repro.tracestore import TraceStore
 
         store = TraceStore(trace_store_dir)
-    result = execute_job_recovering(job, materialize, store, attempt)
+    result = execute_job_recovering(job, materialize, store, attempt, kernel)
     if store is not None:
         stats = store.stats.as_dict()
     elif materialize:

@@ -18,7 +18,7 @@ recorded trace from the :class:`~repro.tracestore.TraceStore`.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.exec import (
     analysis_for_job,
@@ -27,20 +27,24 @@ from repro.engine.exec import (
 )
 from repro.engine.faultinject import maybe_fail_job
 from repro.engine.job import KIND_COVERAGE, KIND_TIMING, SimJob
+from repro.kernels import KERNEL_VECTOR, resolve_kernel
+from repro.kernels.prepass import iter_trace_chunks
 from repro.sim.driver import SimulationDriver
 from repro.trace.events import MemoryAccess
 
 
 class _DriverConsumer:
-    """Push-mode coverage run: a driver walk fed one access at a time."""
+    """Push-mode coverage run: a driver walk fed one access at a time
+    (``update``) or one precomputed chunk at a time (``update_block``)."""
 
-    __slots__ = ("_walk", "update")
+    __slots__ = ("_walk", "update", "update_block")
 
     def __init__(self, job: SimJob, driver: SimulationDriver) -> None:
         self._walk = driver.start(job.workload)
         shift = job.system.address_map.block_bits
         step = self._walk.step
         self.update = lambda access: step(access, access.address >> shift)
+        self.update_block = self._walk.step_chunk
 
     def finalize(self) -> Any:
         return self._walk.finish()
@@ -83,7 +87,9 @@ def job_consumer(job: SimJob) -> Any:
 
 
 def run_group(
-    jobs: Sequence[SimJob], accesses: Iterable[MemoryAccess]
+    jobs: Sequence[SimJob],
+    accesses: Iterable[MemoryAccess],
+    kernel: Optional[str] = None,
 ) -> List[Tuple[SimJob, Any]]:
     """Execute every job in ``jobs`` from one shared pass over ``accesses``.
 
@@ -92,6 +98,12 @@ def run_group(
         accesses: a single-iteration access stream for that key — a
             ``TraceSource``, a store replay, or a record-during-walk
             generator.
+        kernel: trace-walk kernel. The vector kernel pumps the stream
+            chunk-at-a-time: each chunk's pre-pass (block ids) is
+            computed once and every consumer's ``update_block`` replays
+            it through the same per-access closures the python pump
+            calls — bit-identical results, one chunk decode shared by
+            the whole group.
 
     Returns:
         ``(job, result)`` pairs in ``jobs`` order, each result
@@ -103,7 +115,17 @@ def run_group(
     for job in jobs:
         maybe_fail_job(job.job_hash, 1)
     consumers = [job_consumer(job) for job in jobs]
-    if len(consumers) == 1:
+    if resolve_kernel(kernel) == KERNEL_VECTOR:
+        if len(consumers) == 1:
+            update_block = consumers[0].update_block
+            for chunk in iter_trace_chunks(accesses):
+                update_block(chunk)
+        else:
+            chunk_updates = [c.update_block for c in consumers]
+            for chunk in iter_trace_chunks(accesses):
+                for update_block in chunk_updates:
+                    update_block(chunk)
+    elif len(consumers) == 1:
         update = consumers[0].update
         for access in accesses:
             update(access)

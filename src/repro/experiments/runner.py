@@ -170,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(per-process memo) instead of streaming it; results are "
         "bit-identical, but peak memory grows with trace length",
     )
+    engine_group.add_argument(
+        "--kernel", choices=("python", "vector"), default=None,
+        help="trace-walk kernel: 'vector' decodes and classifies whole "
+        "record chunks at a time, 'python' is the record-at-a-time "
+        "reference oracle; results are bit-identical (default: "
+        "$REPRO_KERNEL if set, else vector when numpy is installed)",
+    )
     durable_group = parser.add_argument_group("durable runs")
     durable_group.add_argument(
         "--resume", default=None, metavar="RUN",
@@ -236,6 +243,7 @@ def make_engine(args: argparse.Namespace, journal=None,
         strict=args.strict,
         journal=journal,
         interrupt=interrupt,
+        kernel=args.kernel,
     )
 
 

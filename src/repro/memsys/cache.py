@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 from repro.common.config import CacheConfig
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheAccess:
     """Outcome of one cache access."""
 
@@ -24,6 +24,12 @@ class CacheAccess:
     #: True when the evicted block had been installed by a prefetch and
     #: was never demand-referenced (an overprediction for L1-install SMS).
     evicted_unused_prefetch: bool = False
+
+
+#: the two victimless outcomes, preallocated — ``fill`` runs once per
+#: L1/L2 install on the hot walk and most fills evict nothing
+_FILL_HIT = CacheAccess(hit=True)
+_FILL_NO_VICTIM = CacheAccess(hit=False)
 
 
 class Cache:
@@ -45,8 +51,12 @@ class Cache:
     def _set_index(self, block: int) -> int:
         return block % self._num_sets
 
+    # the hot methods index the set inline (``block % self._num_sets``)
+    # instead of calling ``_set_index`` — the method-call overhead is
+    # measurable at one-to-several calls per simulated access
+
     def __contains__(self, block: int) -> bool:
-        return block in self._sets[self._set_index(block)]
+        return block in self._sets[block % self._num_sets]
 
     def lookup(self, block: int, touch: bool = True) -> bool:
         """Probe for ``block``. A hit clears its prefetched flag."""
@@ -59,7 +69,7 @@ class Cache:
         first demand reference after a prefetch install. L1-install
         prefetchers (SMS) count that event as a covered miss.
         """
-        ways = self._sets[self._set_index(block)]
+        ways = self._sets[block % self._num_sets]
         if block not in ways:
             return False, False
         was_prefetched = ways[block]
@@ -68,28 +78,47 @@ class Cache:
             ways.move_to_end(block)
         return True, was_prefetched
 
+    def probe_fill(self, block: int) -> bool:
+        """Demand probe that fills on miss; returns whether it hit.
+
+        One set index for the lookup + fill pair the hierarchy's L2 sees
+        on every L1 miss (the L2 victim is never reported — only L1
+        evictions terminate spatial generations). Equivalent to
+        ``lookup(block) or (fill(block) and False)`` with the demand
+        flag-clear semantics of :meth:`demand_lookup`.
+        """
+        ways = self._sets[block % self._num_sets]
+        if block in ways:
+            ways[block] = False  # demand reference clears the flag
+            ways.move_to_end(block)
+            return True
+        if len(ways) >= self._assoc:
+            ways.popitem(last=False)
+        ways[block] = False
+        return False
+
     def fill(self, block: int, prefetched: bool = False) -> CacheAccess:
         """Install ``block``; returns the victim (if any)."""
-        ways = self._sets[self._set_index(block)]
+        ways = self._sets[block % self._num_sets]
         if block in ways:
             ways.move_to_end(block)
             if not prefetched:
                 ways[block] = False
-            return CacheAccess(hit=True)
-        evicted_block = None
-        evicted_unused = False
+            return _FILL_HIT
         if len(ways) >= self._assoc:
             evicted_block, evicted_unused = ways.popitem(last=False)
+            ways[block] = prefetched
+            return CacheAccess(
+                hit=False,
+                evicted_block=evicted_block,
+                evicted_unused_prefetch=evicted_unused,
+            )
         ways[block] = prefetched
-        return CacheAccess(
-            hit=False,
-            evicted_block=evicted_block,
-            evicted_unused_prefetch=evicted_unused,
-        )
+        return _FILL_NO_VICTIM
 
     def invalidate(self, block: int) -> bool:
         """Drop ``block`` if resident; returns whether it was present."""
-        ways = self._sets[self._set_index(block)]
+        ways = self._sets[block % self._num_sets]
         return ways.pop(block, None) is not None
 
     def resident_blocks(self) -> List[int]:

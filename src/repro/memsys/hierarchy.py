@@ -9,8 +9,8 @@ generations can be terminated.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
@@ -26,17 +26,23 @@ class ServiceLevel(enum.Enum):
     SVB = "svb"  # assigned by the driver, never by the hierarchy itself
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """Result of one demand access through the hierarchy."""
 
     level: ServiceLevel
     #: blocks evicted from L1 by this access (0 or 1 entries)
-    l1_evictions: List[int] = field(default_factory=list)
+    l1_evictions: Tuple[int, ...] = ()
     #: an L1-installed prefetch left the L1 without ever being referenced
     l1_unused_prefetch_evicted: bool = False
     #: first demand touch of an L1-installed prefetched block (covered miss)
     prefetch_hit: bool = False
+
+
+#: preallocated L1-hit outcomes — one per access on the hot walk, and an
+#: L1 hit never evicts; consumers treat outcomes as read-only
+_L1_HIT = AccessOutcome(ServiceLevel.L1)
+_L1_PREFETCH_HIT = AccessOutcome(ServiceLevel.L1, prefetch_hit=True)
 
 
 class Hierarchy:
@@ -51,28 +57,32 @@ class Hierarchy:
         self.l1 = Cache(config.l1)
         self.l2 = Cache(config.l2)
         self.stats = StatGroup("hierarchy")
+        # hot-loop binding: ``access`` runs once per simulated access and
+        # bumps two counters — increment the counter mapping directly
+        # instead of paying a method call per bump
+        self._counters = self.stats._counters
 
     def access(self, block: int) -> AccessOutcome:
         """Demand access to ``block``; fills on miss; classifies the level."""
-        self.stats.add("accesses")
+        counters = self._counters
+        counters["accesses"] += 1
         hit, prefetch_hit = self.l1.demand_lookup(block)
         if hit:
-            self.stats.add("l1_hits")
-            return AccessOutcome(ServiceLevel.L1, prefetch_hit=prefetch_hit)
+            counters["l1_hits"] += 1
+            return _L1_PREFETCH_HIT if prefetch_hit else _L1_HIT
 
         outcome_level = ServiceLevel.L2
-        if self.l2.lookup(block):
-            self.stats.add("l2_hits")
+        if self.l2.probe_fill(block):
+            counters["l2_hits"] += 1
         else:
-            self.stats.add("offchip_misses")
+            counters["offchip_misses"] += 1
             outcome_level = ServiceLevel.MEMORY
-            self.l2.fill(block)
 
         fill = self.l1.fill(block)
-        evictions = [fill.evicted_block] if fill.evicted_block is not None else []
+        evicted = fill.evicted_block
         return AccessOutcome(
             outcome_level,
-            l1_evictions=evictions,
+            l1_evictions=() if evicted is None else (evicted,),
             l1_unused_prefetch_evicted=fill.evicted_unused_prefetch,
         )
 
@@ -80,10 +90,10 @@ class Hierarchy:
         """Move a consumed SVB block into the hierarchy (L1 + L2)."""
         self.l2.fill(block)
         fill = self.l1.fill(block)
-        evictions = [fill.evicted_block] if fill.evicted_block is not None else []
+        evicted = fill.evicted_block
         return AccessOutcome(
             ServiceLevel.SVB,
-            l1_evictions=evictions,
+            l1_evictions=() if evicted is None else (evicted,),
             l1_unused_prefetch_evicted=fill.evicted_unused_prefetch,
         )
 
@@ -96,10 +106,10 @@ class Hierarchy:
         """
         self.l2.fill(block)
         fill = self.l1.fill(block, prefetched=True)
-        evictions = [fill.evicted_block] if fill.evicted_block is not None else []
+        evicted = fill.evicted_block
         return AccessOutcome(
             ServiceLevel.L1,
-            l1_evictions=evictions,
+            l1_evictions=() if evicted is None else (evicted,),
             l1_unused_prefetch_evicted=fill.evicted_unused_prefetch,
         )
 

@@ -22,9 +22,13 @@ TARGET_SVB = "svb"
 TARGET_L1 = "l1"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class AccessEvent:
-    """One demand access as seen by a prefetcher."""
+    """One demand access as seen by a prefetcher.
+
+    Constructed once per access per attached prefetcher on the hot walk;
+    treated as read-only by every consumer.
+    """
 
     access: MemoryAccess
     block: int
@@ -42,7 +46,11 @@ class AccessEvent:
         just earlier and by the prefetcher. Temporal predictors record
         these events to keep their miss sequences contiguous.
         """
-        return self.level in (ServiceLevel.MEMORY, ServiceLevel.SVB) or self.covered
+        return (
+            self.covered
+            or self.level is ServiceLevel.MEMORY
+            or self.level is ServiceLevel.SVB
+        )
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from repro.common.lru import LRUTable
 SpatialIndex = Tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class SequenceElement:
     """One first-touch in a generation (trigger excluded)."""
 
@@ -55,9 +55,10 @@ class GenerationRecord:
         return set(self.touched)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ObserveResult:
-    """What the AGT saw for one access."""
+    """What the AGT saw for one access (one instance per observed access;
+    consumers treat it as read-only)."""
 
     is_trigger: bool
     record: GenerationRecord
@@ -73,6 +74,11 @@ class ActiveGenerationTable:
         on_generation_end: Optional[Callable[[GenerationRecord], None]] = None,
     ) -> None:
         self.address_map = address_map
+        # per-access geometry, hoisted: ``observe`` runs once per L1
+        # access for SMS/STeMS, so the region/offset split must be two
+        # integer ops on locals rather than two method calls
+        self._region_shift = address_map.region_block_bits
+        self._offset_mask = address_map.blocks_per_region - 1
         self._on_end = on_generation_end
         self._table: LRUTable[int, GenerationRecord] = LRUTable(
             entries, on_evict=self._evict
@@ -102,9 +108,8 @@ class ActiveGenerationTable:
         off-chip element advances ``last_miss_count`` one past its own
         position while a cache-hit element does not.
         """
-        amap = self.address_map
-        region = amap.region_of_block(block)
-        offset = amap.offset_in_region(block)
+        region = block >> self._region_shift
+        offset = block & self._offset_mask
         record = self._table.get(region)
         bump = 1 if offchip else 0
         if record is None:
@@ -129,12 +134,11 @@ class ActiveGenerationTable:
 
     def on_l1_eviction(self, block: int) -> None:
         """End the generation owning ``block`` if it touched that block."""
-        amap = self.address_map
-        region = amap.region_of_block(block)
+        region = block >> self._region_shift
         record = self._table.peek(region)
         if record is None:
             return
-        if amap.offset_in_region(block) in record.touched:
+        if (block & self._offset_mask) in record.touched:
             self._table.pop(region)
             self._evict(region, record)
 

@@ -113,5 +113,17 @@ class PatternSequenceTable:
         return [SequenceStep(offset=o, delta=d) for _, o, d in chosen]
 
     def predict_offsets(self, index: SpatialIndex) -> Set[int]:
-        """Predicted offsets only (used for the RMOB filtering decision)."""
-        return {step.offset for step in self.predict(index)}
+        """Predicted offsets only (used for the RMOB filtering decision).
+
+        Runs once per off-chip read event, so it skips :meth:`predict`'s
+        ordering and :class:`SequenceStep` construction — the set of
+        offsets meeting the threshold is the same either way.
+        """
+        entry = self._table.get(index)
+        if entry is None:
+            return set()
+        threshold = self.config.predict_threshold
+        return {
+            offset for offset, state in entry.items()
+            if state.counter >= threshold
+        }

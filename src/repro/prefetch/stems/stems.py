@@ -88,6 +88,9 @@ class STeMSPrefetcher(Prefetcher):
         self._miss_count = 0  # off-chip read events observed so far
         self._skipped = 0  # misses omitted from the RMOB since last append
         self.stats = StatGroup("stems")
+        # hot-loop bindings: ``on_access`` runs once per simulated access
+        self._counters = self.stats._counters
+        self._offset_mask = address_map.blocks_per_region - 1
 
     # -- training ----------------------------------------------------------------
 
@@ -111,7 +114,7 @@ class STeMSPrefetcher(Prefetcher):
         if is_read and event.level == ServiceLevel.MEMORY and not event.covered:
             pending = self.queues.find_pending(block)
             if pending is not None:
-                self.stats.add("stream_resyncs")
+                self._counters["stream_resyncs"] += 1
                 for pf_block in self.queues.resync(pending.stream_id, block):
                     self._request(
                         pf_block, stream_id=pending.stream_id, target=TARGET_SVB
@@ -135,15 +138,15 @@ class STeMSPrefetcher(Prefetcher):
         if offchip_event:
             spatially_predicted = False
             if not result.is_trigger:
-                offset = self.address_map.offset_in_region(block)
+                offset = block & self._offset_mask
                 spatially_predicted = offset in self.pst.predict_offsets(record.index)
             if result.is_trigger or not spatially_predicted:
                 self.rmob.append(block, pc=pc, delta=self._skipped)
                 self._skipped = 0
-                self.stats.add("rmob_appends")
+                self._counters["rmob_appends"] += 1
             else:
                 self._skipped += 1
-                self.stats.add("rmob_filtered")
+                self._counters["rmob_filtered"] += 1
             self._miss_count += 1
 
     def on_l1_eviction(self, block: int) -> None:

@@ -23,9 +23,12 @@ timing job runs end to end in O(1) memory.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Optional, Protocol, Tuple
 
 from repro.common.config import SystemConfig
+from repro.kernels import KERNEL_VECTOR, resolve_kernel
+from repro.kernels.prepass import AccessChunk, iter_trace_chunks
 from repro.memsys.hierarchy import Hierarchy, ServiceLevel
 from repro.memsys.svb import StreamedValueBuffer
 from repro.prefetch.base import TARGET_L1, TARGET_SVB, AccessEvent, Prefetcher
@@ -52,17 +55,22 @@ class DriverWalk:
     """One in-progress push-mode trace walk (see ``SimulationDriver.start``).
 
     ``step(access, block)`` advances the simulation by one access;
-    ``finish()`` runs the end-of-trace accounting and returns the
-    :class:`CoverageResult`. Both are bound closures over the walk's
+    ``step_chunk(chunk)`` advances it by one precomputed
+    :class:`~repro.kernels.AccessChunk` (the vector kernel's entry
+    point: block ids come from the chunk's batched pre-pass and the
+    per-access calls run inside one C-driven ``map``); ``finish()``
+    runs the end-of-trace accounting and returns the
+    :class:`CoverageResult`. All are bound closures over the walk's
     hoisted state, so pushing accesses one at a time costs one call per
     access over the classic pull loop — which is what lets the engine
     fan a single trace walk out to many independent walks at once.
     """
 
-    __slots__ = ("step", "finish")
+    __slots__ = ("step", "step_chunk", "finish")
 
-    def __init__(self, step, finish) -> None:
+    def __init__(self, step, step_chunk, finish) -> None:
         self.step = step
+        self.step_chunk = step_chunk
         self.finish = finish
 
 
@@ -233,6 +241,39 @@ class SimulationDriver:
                 else:
                     raise ValueError(f"unknown prefetch target {target!r}")
 
+        if prefetcher is None:
+            # baseline specialization: with no prefetcher the SVB stays
+            # empty and no block is ever marked prefetched, so the SVB
+            # probe, coverage branches and prefetch drain are dead code —
+            # same counters, same service classes, same outcomes
+            def step(access: MemoryAccess, block: int) -> None:  # noqa: F811
+                nonlocal accesses, reads, writes, uncovered_count
+                nonlocal l1_hits, l2_hits
+
+                accesses += 1
+                if access.is_write:
+                    writes += 1
+                    is_read = False
+                else:
+                    reads += 1
+                    is_read = True
+
+                level = hier_access(block).level
+                if level is level_l1:
+                    l1_hits += 1
+                    klass = SERVICE_L1
+                elif level is level_l2:
+                    l2_hits += 1
+                    klass = SERVICE_L2
+                else:
+                    if is_read:
+                        uncovered_count += 1
+                    klass = SERVICE_MEMORY
+                if service_append is not None:
+                    service_append(klass)
+                if consumer_update is not None:
+                    consumer_update(access, klass)
+
         def finish() -> CoverageResult:
             result.accesses = accesses
             result.reads = reads
@@ -254,17 +295,34 @@ class SimulationDriver:
             result.service = service
             return result
 
-        return DriverWalk(step, finish)
+        block_bits = system.address_map.block_bits
 
-    def run(self, trace: TraceLike) -> CoverageResult:
+        def step_chunk(chunk: AccessChunk) -> None:
+            # same step closure per access, driven by one C-level map;
+            # block ids come precomputed from the chunk's pre-pass
+            deque(
+                map(step, chunk.accesses, chunk.blocks_for(block_bits)),
+                maxlen=0,
+            )
+
+        return DriverWalk(step, step_chunk, finish)
+
+    def run(self, trace: TraceLike, kernel: Optional[str] = None) -> CoverageResult:
         """Walk ``trace`` (materialized or streaming) through the system.
 
         Pulls the whole trace through :meth:`start`'s step closure, so a
         pulled run and an externally pushed walk (the engine's
         multi-consumer fan-out) execute identical code and produce
-        bit-identical results.
+        bit-identical results. Under the vector kernel the pull happens
+        chunk-at-a-time through ``step_chunk`` — same closures, batched
+        pre-pass — and remains bit-identical by construction.
         """
         walk = self.start(trace.name)
+        if resolve_kernel(kernel) == KERNEL_VECTOR:
+            step_chunk = walk.step_chunk
+            for chunk in iter_trace_chunks(trace):
+                step_chunk(chunk)
+            return walk.finish()
         step = walk.step
         for access, block in self._access_blocks(trace):
             step(access, block)

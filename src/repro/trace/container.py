@@ -74,6 +74,16 @@ class Trace:
     def reads(self) -> Iterator[MemoryAccess]:
         return (a for a in self.accesses if not a.is_write)
 
+    def iter_chunks(self) -> Iterator["AccessChunk"]:
+        """The trace as aligned :class:`~repro.kernels.AccessChunk` runs.
+
+        The chunk-granular walk for the vector kernel: same accesses,
+        same order, batched by slicing (no per-access iteration).
+        """
+        from repro.kernels.prepass import chunk_sequence
+
+        return chunk_sequence(self.accesses)
+
     def materialize(self) -> "Trace":
         """A :class:`Trace` is already materialized; returns itself."""
         return self
@@ -134,6 +144,12 @@ class TraceSource:
         length_hint: the *requested* access count, when known. A hint
             only — generators may overshoot by up to one burst — so
             consumers must not treat it as ``len()``.
+        chunk_factory: optional zero-argument callable returning a fresh
+            iterable of :class:`~repro.kernels.AccessChunk` runs over
+            the *same* access sequence. Sources with a native chunked
+            form (trace-store replay, which decodes whole stored chunks
+            columnar) supply one; otherwise :meth:`iter_chunks` batches
+            the per-record factory generically.
     """
 
     def __init__(
@@ -143,16 +159,33 @@ class TraceSource:
         category: str = "synthetic",
         metadata: Optional[Dict[str, object]] = None,
         length_hint: Optional[int] = None,
+        chunk_factory: Optional[Callable[[], Iterable]] = None,
     ) -> None:
         self.name = name
         self.category = category
         self.metadata: Dict[str, object] = dict(metadata or {})
         self.length_hint = length_hint
         self._factory = factory
+        self._chunk_factory = chunk_factory
 
     def __iter__(self) -> Iterator[MemoryAccess]:
         """A fresh single-pass iterator over the access sequence."""
         return iter(self._factory())
+
+    def iter_chunks(self) -> Iterator["AccessChunk"]:
+        """A fresh single-pass chunk-granular walk of the sequence.
+
+        Uses the native chunk factory when the source has one (stored
+        traces decode columnar, whole chunks at a time); otherwise the
+        per-record factory is drained once through a generic batching
+        wrapper — identical accesses, identical order, identical side
+        effects of iteration.
+        """
+        if self._chunk_factory is not None:
+            return iter(self._chunk_factory())
+        from repro.kernels.prepass import chunk_accesses
+
+        return chunk_accesses(self._factory())
 
     def materialize(self) -> Trace:
         """Drain the source into an in-memory :class:`Trace`.

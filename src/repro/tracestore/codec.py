@@ -4,7 +4,12 @@ A trace file is append-only and self-describing::
 
     magic "RTRC" | u16 version | u32 header-length | header JSON (utf-8)
     record * N                     (fixed 29-byte records, see RECORD)
+    index: magic "TIDX" | u32 entries
+           | entry * E             (u64 first record index,
+                                    u64 byte offset into the payload,
+                                    u32 crc32 of that chunk's bytes)
     footer: magic "TEND" | u64 record count | u32 crc32(records)
+            | u32 index-section bytes
 
 The header JSON carries the trace's identity and provenance (workload
 name, category, requested length, seed, generator metadata). Records
@@ -13,6 +18,16 @@ hold every :class:`~repro.trace.events.MemoryAccess` field except
 record *i* decodes to the access with ``index == i``. The footer's
 record count and payload CRC are what let a reader reject truncated or
 corrupted files instead of replaying garbage into a simulation.
+
+The index section (codec version 2) maps each aligned
+:data:`CHUNK_RECORDS`-record chunk to its byte offset and its own CRC.
+It is what makes the chunk the replay unit: the vector kernel decodes
+whole chunks at once (:func:`read_access_chunks`), and a windowed
+replay (``start_record=N``) seeks straight to the chunk containing
+record *N* and verifies only the chunks it actually reads — warm-up
+skipping without a front-to-back scan. The rolling whole-payload CRC is
+still verified on full replays, so the two read paths reject the same
+damage.
 
 Writers never expose a partial file: they stream records to a
 temporary sibling and publish it with an atomic ``os.replace`` only
@@ -25,14 +40,18 @@ import json
 import struct
 import zlib
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Tuple, Union
 
+from repro.kernels import numpy_or_none
+from repro.kernels.prepass import AccessChunk
 from repro.trace.events import MemoryAccess
 
 MAGIC = b"RTRC"
 FOOTER_MAGIC = b"TEND"
+INDEX_MAGIC = b"TIDX"
 #: bumped when the record layout changes incompatibly
-CODEC_VERSION = 1
+#: (2: per-chunk byte-offset/CRC index section before the footer)
+CODEC_VERSION = 2
 
 #: one access: pc u64, address u64, depends_on i64 (-1 = None),
 #: instr_gap u32, is_write u8
@@ -40,15 +59,31 @@ RECORD = struct.Struct("<QQqIB")
 RECORD_SIZE = RECORD.size
 
 _PREAMBLE = struct.Struct("<4sHI")  # magic, version, header length
-_FOOTER = struct.Struct("<4sQI")  # magic, record count, payload crc32
+#: magic, record count, payload crc32, index-section length
+_FOOTER = struct.Struct("<4sQII")
 FOOTER_SIZE = _FOOTER.size
 
-#: records buffered per write / read syscall
-_CHUNK_RECORDS = 4096
+_INDEX_HEADER = struct.Struct("<4sI")  # magic, entry count
+_INDEX_ENTRY = struct.Struct("<QQI")  # first record index, byte offset, crc32
+
+#: records per aligned chunk: the write/read syscall granularity, the
+#: index granularity, and the vector kernel's decode unit
+CHUNK_RECORDS = 4096
 
 
 class TraceFormatError(ValueError):
     """A trace file is truncated, corrupt, or from an unknown format."""
+
+
+class ChunkIndexEntry(NamedTuple):
+    """One aligned chunk's position in the record payload."""
+
+    #: trace index of the chunk's first record
+    record_index: int
+    #: byte offset of the chunk relative to the payload start
+    byte_offset: int
+    #: crc32 of exactly this chunk's bytes (windowed-replay validation)
+    crc: int
 
 
 def encode_access(access: MemoryAccess) -> bytes:
@@ -82,7 +117,8 @@ def encode_into(
     This is the single encode loop behind both :func:`write_trace`
     (which drains it) and the store's record-during-walk path (which
     forwards the yields to live consumers, so one generation pass both
-    feeds a fan-out group and publishes the file). The footer is written
+    feeds a fan-out group and publishes the file). Each flushed chunk
+    contributes one index entry; the index and footer are written
     when — and only when — the input is exhausted, so an abandoned walk
     leaves an unterminated file that readers reject.
 
@@ -92,10 +128,25 @@ def encode_into(
     header_blob = json.dumps(header, sort_keys=True).encode()
     crc = 0
     count = 0
+    offset = 0
+    index_entries: List[bytes] = []
     pack = RECORD.pack
     handle.write(_PREAMBLE.pack(MAGIC, CODEC_VERSION, len(header_blob)))
     handle.write(header_blob)
     chunk = bytearray()
+    chunk_start = 0
+
+    def _flush() -> None:
+        nonlocal crc, offset, chunk_start
+        index_entries.append(
+            _INDEX_ENTRY.pack(chunk_start, offset, zlib.crc32(chunk))
+        )
+        crc = zlib.crc32(chunk, crc)
+        offset += len(chunk)
+        handle.write(chunk)
+        chunk_start = count
+        chunk.clear()
+
     for access in accesses:
         if access.index != count:
             raise ValueError(
@@ -106,15 +157,15 @@ def encode_into(
         chunk += pack(access.pc, access.address, depends,
                       access.instr_gap, 1 if access.is_write else 0)
         count += 1
-        if len(chunk) >= _CHUNK_RECORDS * RECORD_SIZE:
-            crc = zlib.crc32(chunk, crc)
-            handle.write(chunk)
-            chunk.clear()
+        if len(chunk) >= CHUNK_RECORDS * RECORD_SIZE:
+            _flush()
         yield access
     if chunk:
-        crc = zlib.crc32(chunk, crc)
-        handle.write(chunk)
-    handle.write(_FOOTER.pack(FOOTER_MAGIC, count, crc))
+        _flush()
+    index_blob = _INDEX_HEADER.pack(INDEX_MAGIC, len(index_entries))
+    index_blob += b"".join(index_entries)
+    handle.write(index_blob)
+    handle.write(_FOOTER.pack(FOOTER_MAGIC, count, crc, len(index_blob)))
 
 
 def write_trace(
@@ -122,7 +173,7 @@ def write_trace(
     header: Dict[str, Any],
     accesses: Iterable[MemoryAccess],
 ) -> Tuple[int, int]:
-    """Encode ``accesses`` into ``path`` (header, records, footer).
+    """Encode ``accesses`` into ``path`` (header, records, index, footer).
 
     Args:
         path: destination file (the caller owns atomicity — pass a
@@ -141,18 +192,26 @@ def write_trace(
     return count, size
 
 
-def read_header(path: Union[str, Path]) -> Dict[str, Any]:
-    """Validate ``path``'s framing and return its header JSON.
+class _Layout(NamedTuple):
+    """Validated byte layout of one trace file."""
 
-    Checks magic, codec version, header integrity, footer magic, and
-    that the payload size matches the footer's record count — the cheap
-    structural checks that don't require reading the records themselves
-    (the payload CRC is verified during replay).
+    header: Dict[str, Any]
+    payload_start: int
+    payload_bytes: int
+    count: int
+    crc: int
+    index_start: int
+    index_bytes: int
 
-    Raises:
-        TraceFormatError: on any structural mismatch.
+
+def _read_layout(path: Path) -> _Layout:
+    """Validate ``path``'s framing and return its byte layout.
+
+    The cheap structural checks: magic, codec version, header
+    integrity, footer magic, index magic/arithmetic, and that the
+    payload size matches the footer's record count. Record contents
+    (the payload CRC) are verified during replay.
     """
-    path = Path(path)
     try:
         size = path.stat().st_size
         with path.open("rb") as handle:
@@ -173,75 +232,293 @@ def read_header(path: Union[str, Path]) -> Dict[str, Any]:
                 header = json.loads(header_blob)
             except ValueError as error:
                 raise TraceFormatError(f"{path}: bad header JSON") from error
-            payload = size - _PREAMBLE.size - header_len - FOOTER_SIZE
-            if payload < 0 or payload % RECORD_SIZE:
-                raise TraceFormatError(f"{path}: truncated record payload")
+            if size < _PREAMBLE.size + header_len + FOOTER_SIZE:
+                raise TraceFormatError(f"{path}: missing footer (truncated?)")
             handle.seek(size - FOOTER_SIZE)
-            footer_magic, count, _crc = _FOOTER.unpack(handle.read(FOOTER_SIZE))
+            footer_magic, count, crc, index_bytes = _FOOTER.unpack(
+                handle.read(FOOTER_SIZE)
+            )
             if footer_magic != FOOTER_MAGIC:
                 raise TraceFormatError(f"{path}: missing footer (truncated?)")
+            payload_start = _PREAMBLE.size + header_len
+            index_start = size - FOOTER_SIZE - index_bytes
+            payload = index_start - payload_start
+            if payload < 0 or payload % RECORD_SIZE:
+                raise TraceFormatError(f"{path}: truncated record payload")
             if count * RECORD_SIZE != payload:
                 raise TraceFormatError(
                     f"{path}: footer claims {count} records, "
                     f"payload holds {payload // RECORD_SIZE}"
                 )
+            expected_entries = -(-count // CHUNK_RECORDS)  # ceil
+            if index_bytes != (
+                _INDEX_HEADER.size + expected_entries * _INDEX_ENTRY.size
+            ):
+                raise TraceFormatError(f"{path}: malformed chunk index")
+            handle.seek(index_start)
+            index_preamble = handle.read(_INDEX_HEADER.size)
+            if len(index_preamble) != _INDEX_HEADER.size:
+                raise TraceFormatError(f"{path}: truncated chunk index")
+            index_magic, entries = _INDEX_HEADER.unpack(index_preamble)
+            if index_magic != INDEX_MAGIC or entries != expected_entries:
+                raise TraceFormatError(f"{path}: malformed chunk index")
     except OSError as error:
         raise TraceFormatError(f"{path}: unreadable ({error})") from error
-    return header
+    return _Layout(
+        header=header,
+        payload_start=payload_start,
+        payload_bytes=payload,
+        count=count,
+        crc=crc,
+        index_start=index_start,
+        index_bytes=index_bytes,
+    )
 
 
-def read_accesses(path: Union[str, Path]) -> Iterator[MemoryAccess]:
-    """Replay ``path``'s records as :class:`MemoryAccess` objects.
+def read_header(path: Union[str, Path]) -> Dict[str, Any]:
+    """Validate ``path``'s framing and return its header JSON.
 
-    Streams the payload in chunks (O(1) memory in trace length) and
-    verifies the footer CRC as it goes; a corrupted payload raises
-    :class:`TraceFormatError` at the end of the walk, before a consumer
-    can treat the replay as complete.
+    Raises:
+        TraceFormatError: on any structural mismatch.
+    """
+    return _read_layout(Path(path)).header
+
+
+def read_chunk_index(path: Union[str, Path]) -> List[ChunkIndexEntry]:
+    """The per-chunk byte-offset index from ``path``'s index section.
+
+    One entry per aligned :data:`CHUNK_RECORDS`-record chunk, in trace
+    order. Offsets are relative to the payload start; each entry's CRC
+    covers exactly its chunk's bytes, which is what lets a windowed
+    replay validate only the region it reads.
+
+    Raises:
+        TraceFormatError: on structural damage or index inconsistency.
+    """
+    path = Path(path)
+    layout = _read_layout(path)
+    entries: List[ChunkIndexEntry] = []
+    with path.open("rb") as handle:
+        handle.seek(layout.index_start + _INDEX_HEADER.size)
+        blob = handle.read(layout.index_bytes - _INDEX_HEADER.size)
+    expected_start = 0
+    expected_offset = 0
+    for record_index, byte_offset, crc in _INDEX_ENTRY.iter_unpack(blob):
+        if record_index != expected_start or byte_offset != expected_offset:
+            raise TraceFormatError(f"{path}: inconsistent chunk index")
+        entries.append(ChunkIndexEntry(record_index, byte_offset, crc))
+        expected_start += CHUNK_RECORDS
+        expected_offset += CHUNK_RECORDS * RECORD_SIZE
+    return entries
+
+
+def _read_exact(handle, want: int, path: Path) -> bytes:
+    chunk = handle.read(want)
+    while 0 < len(chunk) < want:  # top up a short read
+        more = handle.read(want - len(chunk))
+        if not more:
+            break
+        chunk += more
+    if len(chunk) != want:
+        raise TraceFormatError(f"{path}: payload ended early")
+    return chunk
+
+
+def _iter_chunk_bytes(path: Path) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(first_record_index, chunk_bytes)`` for the full payload.
+
+    Verifies the rolling payload CRC and the footer count as it goes —
+    the same guarantees as a record-at-a-time replay, delivered at
+    chunk granularity.
+    """
+    layout = _read_layout(path)
+    with path.open("rb") as handle:
+        handle.seek(layout.payload_start)
+        remaining = layout.payload_bytes
+        chunk_bytes = CHUNK_RECORDS * RECORD_SIZE
+        crc = 0
+        index = 0
+        while remaining:
+            want = min(chunk_bytes, remaining)
+            chunk = _read_exact(handle, want, path)
+            remaining -= want
+            crc = zlib.crc32(chunk, crc)
+            yield index, chunk
+            index += want // RECORD_SIZE
+        if index != layout.count:
+            raise TraceFormatError(
+                f"{path}: replayed {index} records, footer claims "
+                f"{layout.count}"
+            )
+        if crc != layout.crc:
+            raise TraceFormatError(f"{path}: payload CRC mismatch")
+
+
+def _iter_chunk_bytes_from(
+    path: Path, start_record: int
+) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(first_record_index, chunk_bytes)`` from the chunk
+    containing ``start_record`` onward.
+
+    Uses the index section to seek straight to the right chunk and
+    validates each chunk it reads against the indexed per-chunk CRC
+    (the rolling whole-payload CRC cannot be checked without the
+    skipped prefix — the per-chunk CRCs close exactly that gap).
+    """
+    layout = _read_layout(path)
+    if start_record < 0:
+        raise ValueError(f"start_record must be >= 0, got {start_record}")
+    if start_record >= layout.count:
+        return
+    index_entries = read_chunk_index(path)
+    first = start_record // CHUNK_RECORDS
+    with path.open("rb") as handle:
+        for entry in index_entries[first:]:
+            handle.seek(layout.payload_start + entry.byte_offset)
+            want = min(
+                CHUNK_RECORDS * RECORD_SIZE,
+                layout.payload_bytes - entry.byte_offset,
+            )
+            chunk = _read_exact(handle, want, path)
+            if zlib.crc32(chunk) != entry.crc:
+                raise TraceFormatError(
+                    f"{path}: chunk CRC mismatch at record "
+                    f"{entry.record_index}"
+                )
+            yield entry.record_index, chunk
+
+
+def _decode_chunk(first_index: int, chunk: bytes) -> AccessChunk:
+    """Decode one aligned chunk into an :class:`AccessChunk`.
+
+    The vector path decodes the whole chunk columnar with
+    ``numpy.frombuffer`` and builds the access objects with one
+    C-driven ``map``; without numpy the scalar ``struct.iter_unpack``
+    path produces the identical objects.
+    """
+    numpy = numpy_or_none()
+    n = len(chunk) // RECORD_SIZE
+    if numpy is not None:
+        columns = numpy.frombuffer(chunk, dtype=_record_dtype(numpy))
+        addresses = columns["address"]
+        depends = columns["depends"]
+        if bool((depends < 0).all()):
+            depends_list: List = [None] * n
+        else:
+            depends_list = depends.tolist()
+            for position in numpy.flatnonzero(depends < 0).tolist():
+                depends_list[position] = None
+        accesses = list(map(
+            MemoryAccess,
+            range(first_index, first_index + n),
+            columns["pc"].tolist(),
+            addresses.tolist(),
+            (columns["is_write"] != 0).tolist(),
+            depends_list,
+            columns["instr_gap"].tolist(),
+        ))
+        return AccessChunk(accesses, start_index=first_index,
+                           addresses=addresses)
+    accesses = [
+        MemoryAccess(
+            index=index,
+            pc=pc,
+            address=address,
+            is_write=bool(is_write),
+            depends_on=None if depends < 0 else depends,
+            instr_gap=instr_gap,
+        )
+        for index, (pc, address, depends, instr_gap, is_write)
+        in enumerate(RECORD.iter_unpack(chunk), start=first_index)
+    ]
+    return AccessChunk(accesses, start_index=first_index)
+
+
+_RECORD_DTYPE = None
+
+
+def _record_dtype(numpy):
+    """The numpy structured dtype mirroring :data:`RECORD` (cached)."""
+    global _RECORD_DTYPE
+    if _RECORD_DTYPE is None:
+        _RECORD_DTYPE = numpy.dtype([
+            ("pc", "<u8"),
+            ("address", "<u8"),
+            ("depends", "<i8"),
+            ("instr_gap", "<u4"),
+            ("is_write", "u1"),
+        ])
+        assert _RECORD_DTYPE.itemsize == RECORD_SIZE
+    return _RECORD_DTYPE
+
+
+def read_access_chunks(
+    path: Union[str, Path], start_record: int = 0
+) -> Iterator[AccessChunk]:
+    """Replay ``path`` as aligned :class:`AccessChunk` runs.
+
+    The chunk-granular counterpart of :func:`read_accesses`: the
+    decoded access objects are bit-identical to the record-at-a-time
+    replay, batched per stored chunk with the address column attached
+    for the vectorized pre-pass. A full replay (``start_record=0``)
+    verifies the rolling payload CRC; a windowed replay seeks via the
+    chunk index, verifies each read chunk's own CRC, and trims the
+    leading chunk to start exactly at ``start_record``.
 
     Raises:
         TraceFormatError: on structural damage or a CRC mismatch.
     """
     path = Path(path)
-    read_header(path)  # structural validation (raises on damage)
-    size = path.stat().st_size
-    with path.open("rb") as handle:
-        preamble = handle.read(_PREAMBLE.size)
-        _, _, header_len = _PREAMBLE.unpack(preamble)
-        handle.seek(_PREAMBLE.size + header_len)
-        remaining = size - _PREAMBLE.size - header_len - FOOTER_SIZE
-        handle.seek(size - FOOTER_SIZE)
-        _, count, expected_crc = _FOOTER.unpack(handle.read(FOOTER_SIZE))
-        handle.seek(_PREAMBLE.size + header_len)
-        crc = 0
-        index = 0
-        iter_unpack = RECORD.iter_unpack
-        chunk_bytes = _CHUNK_RECORDS * RECORD_SIZE
-        while remaining:
-            want = min(chunk_bytes, remaining)
-            chunk = handle.read(want)
-            while 0 < len(chunk) < want:  # top up a short read
-                more = handle.read(want - len(chunk))
-                if not more:
-                    break
-                chunk += more
-            if len(chunk) != want:
-                raise TraceFormatError(f"{path}: payload ended early")
-            remaining -= len(chunk)
-            crc = zlib.crc32(chunk, crc)
-            for record in iter_unpack(chunk):
-                pc, address, depends, instr_gap, is_write = record
-                yield MemoryAccess(
-                    index=index,
-                    pc=pc,
-                    address=address,
-                    is_write=bool(is_write),
-                    depends_on=None if depends < 0 else depends,
-                    instr_gap=instr_gap,
-                )
-                index += 1
-        if index != count:
-            raise TraceFormatError(
-                f"{path}: replayed {index} records, footer claims {count}"
+    if start_record:
+        raw = _iter_chunk_bytes_from(path, start_record)
+    else:
+        raw = _iter_chunk_bytes(path)
+    for first_index, chunk in raw:
+        decoded = _decode_chunk(first_index, chunk)
+        if start_record > first_index:
+            trim = start_record - first_index
+            decoded = AccessChunk(
+                decoded.accesses[trim:],
+                start_index=start_record,
+                addresses=(
+                    decoded._addresses[trim:]
+                    if decoded._addresses is not None else None
+                ),
             )
-        if crc != expected_crc:
-            raise TraceFormatError(f"{path}: payload CRC mismatch")
+        if decoded.accesses:
+            yield decoded
+
+
+def read_accesses(
+    path: Union[str, Path], start_record: int = 0
+) -> Iterator[MemoryAccess]:
+    """Replay ``path``'s records as :class:`MemoryAccess` objects.
+
+    Streams the payload in chunks (O(1) memory in trace length) and
+    verifies the footer CRC as it goes; a corrupted payload raises
+    :class:`TraceFormatError` at the end of the walk, before a consumer
+    can treat the replay as complete. With ``start_record > 0`` the
+    walk seeks via the chunk index and verifies per-chunk CRCs instead
+    (see :func:`read_access_chunks`).
+
+    Raises:
+        TraceFormatError: on structural damage or a CRC mismatch.
+    """
+    path = Path(path)
+    if start_record:
+        for chunk in read_access_chunks(path, start_record):
+            yield from chunk.accesses
+        return
+    for first_index, chunk in _iter_chunk_bytes(path):
+        index = first_index
+        for record in RECORD.iter_unpack(chunk):
+            pc, address, depends, instr_gap, is_write = record
+            yield MemoryAccess(
+                index=index,
+                pc=pc,
+                address=address,
+                is_write=bool(is_write),
+                depends_on=None if depends < 0 else depends,
+                instr_gap=instr_gap,
+            )
+            index += 1

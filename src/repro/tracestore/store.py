@@ -42,6 +42,7 @@ from repro.tracestore.codec import (
     RECORD_SIZE,
     TraceFormatError,
     encode_into,
+    read_access_chunks,
     read_accesses,
     read_header,
     write_trace,
@@ -62,7 +63,8 @@ def _fault_plane():
     return maybe_corrupt_trace, quarantine_file
 
 #: bumped when key derivation or the stored header schema changes
-STORE_VERSION = 1
+#: (2: codec v2 — per-chunk byte-offset index in the footer framing)
+STORE_VERSION = 2
 
 
 def trace_key_hash(workload: str, length: int, seed: int) -> str:
@@ -261,8 +263,15 @@ class TraceStore:
 
     # -- replay ------------------------------------------------------------
 
-    def open_source(self, key: TraceKey) -> TraceSource:
+    def open_source(self, key: TraceKey, start_record: int = 0) -> TraceSource:
         """Replay an existing entry as a re-iterable :class:`TraceSource`.
+
+        The source carries a native chunk factory: chunk-granular
+        consumers (the vector kernel) decode whole stored chunks
+        columnar via :meth:`TraceSource.iter_chunks`, while per-record
+        consumers iterate as before. With ``start_record > 0`` the
+        replay seeks via the entry's chunk index and skips the warm-up
+        prefix (windowed replay, validated by per-chunk CRCs).
 
         Raises:
             TraceFormatError: when the entry is missing, truncated or
@@ -273,19 +282,30 @@ class TraceStore:
         self.stats.hits += 1
         return TraceSource(
             name=str(header.get("name", key[0])),
-            factory=lambda: self._replay(path),
+            factory=lambda: self._replay(path, start_record),
             category=str(header.get("category", "synthetic")),
             metadata=dict(header.get("metadata", {})),
             length_hint=key[1],
+            chunk_factory=lambda: self._replay_chunks(path, start_record),
         )
 
-    def _replay(self, path: Path) -> Iterator:
+    def _replay(self, path: Path, start_record: int = 0) -> Iterator:
         bytes_per = RECORD_SIZE
         count = 0
-        for access in read_accesses(path):
+        for access in read_accesses(path, start_record):
             count += 1
             yield access
         self.stats.bytes_replayed += count * bytes_per + FOOTER_SIZE
+
+    def _replay_chunks(self, path: Path, start_record: int = 0) -> Iterator:
+        """Chunk-granular replay with the same byte accounting as
+        :meth:`_replay` (one stored record costs one replayed record,
+        whichever decode path delivered it)."""
+        count = 0
+        for chunk in read_access_chunks(path, start_record):
+            count += len(chunk)
+            yield chunk
+        self.stats.bytes_replayed += count * RECORD_SIZE + FOOTER_SIZE
 
     def source(self, key: TraceKey) -> TraceSource:
         """Replay ``key`` if recorded; otherwise record it *during* the
@@ -305,12 +325,23 @@ class TraceStore:
                 return self._replay(self.path_for(key))
             return self._record_while_walking(key)
 
+        def chunk_factory():
+            if self.has(key):
+                self.stats.hits += 1
+                return self._replay_chunks(self.path_for(key))
+            # generation pass: batch the record-during-walk tee so the
+            # recording side effect still happens exactly once, in order
+            from repro.kernels.prepass import chunk_accesses
+
+            return chunk_accesses(self._record_while_walking(key))
+
         return TraceSource(
             name=template.name,
             factory=factory,
             category=template.category,
             metadata=dict(template.metadata),
             length_hint=key[1],
+            chunk_factory=chunk_factory,
         )
 
     def _record_while_walking(self, key: TraceKey) -> Iterator:

@@ -257,6 +257,37 @@ class TestBenchCompare:
                          "--threshold", "0.1")
         assert proc.returncode == 1
 
+    def test_required_speedup_met(self, tmp_path):
+        proc = self._run(tmp_path, self._record(7), self._record(8, 1.6),
+                         "--require-speedup", "coverage:1.5")
+        assert proc.returncode == 0, proc.stdout
+        assert "required speedups met" in proc.stdout
+
+    def test_required_speedup_unmet(self, tmp_path):
+        proc = self._run(tmp_path, self._record(7), self._record(8, 1.2),
+                         "--require-speedup", "coverage:1.5")
+        assert proc.returncode == 1
+        assert "UNMET" in proc.stdout
+        assert "achieved only" in proc.stderr
+
+    def test_required_speedup_needs_a_baseline(self, tmp_path):
+        proc = self._run(tmp_path, None, self._record(8, 2.0),
+                         "--require-speedup", "coverage:1.5")
+        assert proc.returncode == 2
+
+    def test_required_speedup_missing_kind_fails(self, tmp_path):
+        proc = self._run(tmp_path, self._record(7), self._record(8, 2.0),
+                         "--require-speedup", "analysis:1.5")
+        assert proc.returncode == 1
+        assert "cannot verify" in proc.stderr
+
+    @pytest.mark.parametrize("bad", ["coverage", ":1.5", "coverage:zero",
+                                     "coverage:-2"])
+    def test_malformed_speedup_spec_rejected(self, tmp_path, bad):
+        proc = self._run(tmp_path, self._record(7), self._record(8, 2.0),
+                         "--require-speedup", bad)
+        assert proc.returncode == 2
+
     def test_pr_number_from_bench_out(self):
         sys.path.insert(0, str(REPO / "benchmarks"))
         try:

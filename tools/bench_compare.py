@@ -10,13 +10,20 @@ runners is real, so the gate is deliberately loose; it catches
 cliff-edge regressions, not percentage points. Wall-time and recovery
 counters are printed for context but never gate.
 
+A perf-optimisation PR can additionally *require* an improvement:
+``--require-speedup KIND:FACTOR`` (repeatable) fails unless the current
+record's ``KIND`` throughput is at least ``FACTOR`` times the baseline's
+— the positive gate that keeps a claimed speedup from silently eroding.
+
 Usage::
 
     python tools/bench_compare.py --current BENCH_7.json --baseline BENCH_6.json
     python tools/bench_compare.py --current BENCH_7.json --baseline BENCH_6.json --threshold 0.5
+    python tools/bench_compare.py --current BENCH_8.json --baseline BENCH_7.json --require-speedup coverage:1.5
 
 Exit code: ``0`` within threshold (or nothing comparable), ``1`` on a
-regression beyond it, ``2`` on unusable inputs.
+regression beyond it or an unmet required speedup, ``2`` on unusable
+inputs.
 """
 
 from __future__ import annotations
@@ -82,6 +89,49 @@ def compare(baseline: dict, current: dict,
     return lines, regressions
 
 
+def parse_speedup_spec(spec: str) -> "tuple[str, float]":
+    """``KIND:FACTOR`` → ``(kind, factor)``; raises ValueError when malformed."""
+    kind, sep, factor_text = spec.partition(":")
+    if not sep or not kind:
+        raise ValueError(f"expected KIND:FACTOR, got {spec!r}")
+    factor = float(factor_text)  # ValueError propagates with the bad text
+    if factor <= 0:
+        raise ValueError(f"speedup factor must be positive, got {factor}")
+    return kind, factor
+
+
+def check_speedups(baseline: dict, current: dict,
+                   specs: "list[tuple[str, float]]",
+                   ) -> "tuple[list[str], list[str]]":
+    """Returns ``(report_lines, failure_lines)`` for required speedups."""
+    lines = []
+    failures = []
+    base_kinds = baseline.get("kinds", {})
+    cur_kinds = current.get("kinds", {})
+    for kind, factor in specs:
+        base = base_kinds.get(kind, {}).get("accesses_per_second")
+        cur = cur_kinds.get(kind, {}).get("accesses_per_second")
+        if not base or not cur:
+            failures.append(
+                f"{kind}: cannot verify required {factor:g}x speedup "
+                "(missing throughput numbers)"
+            )
+            continue
+        achieved = cur / base
+        line = (
+            f"{kind:<12} required {factor:g}x, achieved {achieved:.2f}x "
+            f"({base:.1f} → {cur:.1f} acc/s)"
+        )
+        if achieved < factor:
+            failures.append(
+                f"{kind}: required {factor:g}x speedup, "
+                f"achieved only {achieved:.2f}x"
+            )
+            line += "  UNMET"
+        lines.append(line)
+    return lines, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True, metavar="BENCH_N.json",
@@ -93,29 +143,53 @@ def main(argv=None) -> int:
         help="maximum tolerated per-kind throughput drop "
         "(default: 0.30 = 30%%)",
     )
+    parser.add_argument(
+        "--require-speedup", action="append", default=[],
+        metavar="KIND:FACTOR",
+        help="fail unless KIND throughput improved by at least FACTOR "
+        "(e.g. coverage:1.5); repeatable",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be a fraction in (0, 1)")
+    try:
+        speedup_specs = [
+            parse_speedup_spec(spec) for spec in args.require_speedup
+        ]
+    except ValueError as error:
+        parser.error(f"--require-speedup: {error}")
 
     baseline_path = Path(args.baseline)
     if not baseline_path.is_file():
-        # the first PR of a new bench family has no baseline to honor
+        # the first PR of a new bench family has no baseline to honor —
+        # unless this PR claims a speedup, which needs a baseline to
+        # be measured against
+        if speedup_specs:
+            print(
+                f"bench_compare: no baseline at {baseline_path} to verify "
+                "--require-speedup against", file=sys.stderr,
+            )
+            return 2
         print(f"bench_compare: no baseline at {baseline_path}; "
               "nothing to compare (pass)")
         return 0
     baseline = load_record(baseline_path)
     current = load_record(Path(args.current))
     lines, regressions = compare(baseline, current, args.threshold)
+    speedup_lines, unmet = check_speedups(baseline, current, speedup_specs)
     tag_base = baseline.get("pr", "?")
     tag_cur = current.get("pr", "?")
     print(f"bench_compare: PR {tag_base} baseline vs PR {tag_cur} current")
     for line in lines:
         print(f"  {line}")
-    if regressions:
-        for regression in regressions:
-            print(f"FAIL: {regression}", file=sys.stderr)
+    for line in speedup_lines:
+        print(f"  {line}")
+    if regressions or unmet:
+        for failure in regressions + unmet:
+            print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print(f"OK: all kinds within {args.threshold:.0%} of the baseline")
+    print(f"OK: all kinds within {args.threshold:.0%} of the baseline"
+          + ("; required speedups met" if speedup_specs else ""))
     return 0
 
 
