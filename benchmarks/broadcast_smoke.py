@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Broadcast smoke check: one walk feeds every worker; exports byte-equal.
+
+Runs the reference two-figure sweep (fig9 coverage + fig10 timing) at
+``--jobs N`` over one shared warm trace store twice — ``--broadcast on``
+and ``--broadcast off`` — and asserts:
+
+* the exported rows are **byte-equal** (broadcast is an execution
+  optimisation, never a semantic change);
+* the broadcast run performed **exactly one trace walk per trace key**
+  (``EngineStats``: ``store_hits == len(keys)``, zero generation
+  passes, one wave per multi-job key), where the off run replays once
+  per job.
+
+Then measures the warm full-sweep wall time under both modes (median
+of ``--repeat`` runs) and records the multi-worker throughput as the
+``multiworker_sweep`` kind:
+
+* ``--bench-out BENCH_<pr>.json`` **augments** the perf-trajectory
+  record :mod:`benchmarks.kernel_smoke` wrote earlier in the CI run
+  (creating a minimal record when run standalone), so one file carries
+  the whole PR's perf story;
+* ``--bench-out-off`` writes a small baseline record with the *off*
+  numbers for the same kind — CI feeds both to ``tools/bench_compare.py
+  --require-speedup multiworker_sweep:FACTOR``, the positive gate that
+  keeps the broadcast win from silently eroding. The wall win comes
+  from bundling: each wave runs at most ``--jobs`` consumer processes,
+  and within a bundle the in-process fan-out shares one chunk decode
+  and one vectorized pre-pass across all of its jobs.
+
+Used by CI; also runnable by hand::
+
+    python benchmarks/broadcast_smoke.py --jobs 4
+    python benchmarks/broadcast_smoke.py --jobs 4 \
+        --bench-out BENCH_9.json --bench-out-off BENCH_9_broadcast_off.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.engine import Engine, JobGraph  # noqa: E402
+from repro.experiments import fig9, fig10  # noqa: E402
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.sim.export import write_json  # noqa: E402
+
+from faults_smoke import pr_number_from_bench_out  # noqa: E402
+
+FIGURES = (("fig9", fig9), ("fig10", fig10))
+
+
+def declare(config: ExperimentConfig) -> "tuple[JobGraph, dict]":
+    graph = JobGraph()
+    plans = {name: module.declare(config, graph)
+             for name, module in FIGURES}
+    return graph, plans
+
+
+def run_sweep(config: ExperimentConfig, store_dir: str, jobs: int,
+              broadcast: str) -> "tuple[dict[str, bytes], Engine]":
+    """One full sweep; returns per-figure exported rows as JSON bytes."""
+    graph, plans = declare(config)
+    engine = Engine(jobs=jobs, trace_store=store_dir, broadcast=broadcast)
+    results = engine.run(graph)
+    exports = {}
+    for name, module in FIGURES:
+        rows = module.export_rows(module.collect(config, plans[name], results))
+        # serialize exactly as the runner's --export json does
+        path = Path(store_dir) / f"{name}-{broadcast}.json"
+        write_json(rows, path)
+        exports[name] = path.read_bytes()
+        path.unlink()
+    return exports, engine
+
+
+def time_sweep(config: ExperimentConfig, store_dir: str, jobs: int,
+               broadcast: str, repeat: int) -> "tuple[float, int, int]":
+    """Median-of-``repeat`` warm-sweep wall time; also (jobs, accesses).
+
+    Median, not best: the two modes are compared as a CI ratio gate,
+    and a single lucky scheduling window for either mode would swing a
+    best-of statistic far more than the few-percent effect being
+    measured.
+    """
+    walls = []
+    n_jobs = accesses = 0
+    for _ in range(repeat):
+        graph, _ = declare(config)
+        n_jobs = sum(1 for _ in graph)
+        accesses = sum(job.length for job in graph)
+        engine = Engine(jobs=jobs, trace_store=store_dir,
+                        broadcast=broadcast)
+        started = time.perf_counter()
+        engine.run(graph)
+        walls.append(time.perf_counter() - started)
+    return statistics.median(walls), n_jobs, accesses
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=20_000,
+                        help="trace length per workload (default: 20k)")
+    parser.add_argument("--workloads", nargs="+", default=["db2", "qry2"],
+                        help="workload subset (default: db2 qry2)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="engine workers (default: 4)")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timing runs per mode; the median is kept "
+                        "(default: 5)")
+    parser.add_argument("--bench-out", default=None, metavar="PATH",
+                        help="BENCH_<pr>.json record to augment with the "
+                        "multiworker_sweep kind (created if absent)")
+    parser.add_argument("--bench-out-off", default=None, metavar="PATH",
+                        help="also write a baseline record carrying the "
+                        "broadcast-off numbers for the same kind")
+    args = parser.parse_args(argv)
+    if args.bench_out and pr_number_from_bench_out(args.bench_out) is None:
+        parser.error(
+            f"--bench-out {args.bench_out!r} must be named BENCH_<pr>.json"
+        )
+
+    config = ExperimentConfig.small()
+    config.trace_length = args.length
+    config.workloads = list(args.workloads)
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-broadcast-") as store_dir:
+        # warm the store once (also exercises the cold broadcast path:
+        # the readers record during this first walk)
+        exports_on, engine_on = run_sweep(
+            config, store_dir, args.jobs, "on"
+        )
+        print(f"[broadcast on  (cold)] {engine_on.stats.format()}")
+
+        # parity: a warm broadcast run against a warm independent-replay
+        # run — exports must be byte-equal
+        exports_on, engine_on = run_sweep(config, store_dir, args.jobs, "on")
+        print(f"[broadcast on  (warm)] {engine_on.stats.format()}")
+        exports_off, engine_off = run_sweep(
+            config, store_dir, args.jobs, "off"
+        )
+        print(f"[broadcast off (warm)] {engine_off.stats.format()}")
+        for name, _ in FIGURES:
+            if exports_on[name] != exports_off[name]:
+                failures.append(
+                    f"{name}: broadcast-on export differs from broadcast-off"
+                )
+
+        # the cost model: the warm broadcast sweep walks each trace key
+        # exactly once, however many jobs share it
+        graph, _ = declare(config)
+        keys = {job.trace_key for job in graph}
+        stats = engine_on.stats
+        if stats.generation_passes != 0 or stats.store_hits != len(keys):
+            failures.append(
+                "broadcast sweep did not cost one walk per key: "
+                f"{stats.generation_passes} generated, {stats.store_hits} "
+                f"store hits for {len(keys)} keys"
+            )
+        if stats.broadcast_waves != len(keys):
+            failures.append(
+                f"expected {len(keys)} broadcast waves, "
+                f"got {stats.broadcast_waves}"
+            )
+        if stats.broadcast_fallbacks:
+            failures.append(
+                f"{stats.broadcast_fallbacks} consumer(s) degraded to "
+                "independent replay on a healthy run"
+            )
+
+        # throughput: warm store, full sweep, both modes
+        wall_on, n_jobs, accesses = time_sweep(
+            config, store_dir, args.jobs, "on", args.repeat
+        )
+        wall_off, _, _ = time_sweep(
+            config, store_dir, args.jobs, "off", args.repeat
+        )
+
+    total = accesses * 1  # each job walks its own trace-length accesses
+    ratio = wall_off / wall_on
+    print(f"[multiworker] jobs={args.jobs} on {wall_on:.2f}s, "
+          f"off {wall_off:.2f}s ({ratio:.2f}x)")
+
+    def sweep_kind(wall: float) -> dict:
+        return {
+            "jobs": n_jobs,
+            "accesses": total,
+            "wall_seconds": round(wall, 3),
+            "accesses_per_second": round(total / wall, 1),
+        }
+
+    if args.bench_out:
+        path = Path(args.bench_out)
+        if path.is_file():
+            record = json.loads(path.read_text())
+        else:
+            record = {
+                "bench": "broadcast_smoke",
+                "pr": pr_number_from_bench_out(args.bench_out),
+                "kinds": {},
+            }
+        record.setdefault("kinds", {})["multiworker_sweep"] = sweep_kind(
+            wall_on
+        )
+        record["broadcast"] = {
+            "jobs": args.jobs,
+            "workloads": config.workloads,
+            "trace_length": config.trace_length,
+            "repeat": args.repeat,
+            "statistic": "median",
+            "wall_seconds_off": round(wall_off, 3),
+            "speedup_vs_off": round(ratio, 2),
+        }
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"[bench record augmented at {path}]", file=sys.stderr)
+    if args.bench_out_off:
+        off_record = {
+            "bench": "broadcast_smoke",
+            "pr": pr_number_from_bench_out(args.bench_out),
+            "mode": "broadcast_off_baseline",
+            "kinds": {"multiworker_sweep": sweep_kind(wall_off)},
+        }
+        Path(args.bench_out_off).write_text(
+            json.dumps(off_record, indent=2) + "\n"
+        )
+        print(f"[off-baseline record written to {args.bench_out_off}]",
+              file=sys.stderr)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: broadcast sweep byte-equal to independent replay at "
+          f"--jobs {args.jobs}; {len(keys)} walks for {n_jobs} jobs; "
+          f"{ratio:.2f}x vs off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,12 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-out", default=None, metavar="PATH",
                         help="also write the perf-trajectory JSON record")
     args = parser.parse_args(argv)
+    if args.bench_out and pr_number_from_bench_out(args.bench_out) is None:
+        # catch CI filename drift at the source: an unparseable name
+        # would emit a record with "pr": null and break the trajectory
+        parser.error(
+            f"--bench-out {args.bench_out!r} must be named BENCH_<pr>.json"
+        )
 
     config = ExperimentConfig.small()
     config.trace_length = args.length

@@ -365,6 +365,55 @@ def execute_job_for_pool(
     return job.job_hash, result, stats
 
 
+def execute_jobs_broadcast(
+    jobs: "list[SimJob]",
+    ring_consumer: Any,
+    index: int,
+    trace_store_dir: Union[str, Path],
+    kernel: Optional[str],
+    out_queue: Any,
+) -> None:
+    """Broadcast-consumer process entry: a job bundle fed from one ring.
+
+    Runs the bundle through the same fan-out pump a serial group uses
+    (:func:`~repro.engine.fanout.run_group`) — every job in the bundle
+    shares one chunk decode and one vectorized pre-pass — but the
+    access stream is a :class:`~repro.tracestore.broadcast.ChunkCursor`
+    decoding chunks straight out of shared memory: zero file IO, zero
+    index decode on the consumer side. If the reader dies or a slot
+    fails its CRC the cursor degrades to an independent replay
+    mid-stream; results are bit-identical either way.
+
+    Reports ``(index, status, payload, store_stats, broadcast_stats)``
+    on ``out_queue`` — ``status`` is ``"ok"`` (payload = a list of
+    ``(job_hash, result)`` pairs) or ``"error"`` (payload = the error
+    description; the parent charges each bundled job's retry budget and
+    requeues them through the pool path). Injected ``worker_crash``
+    draws kill the process outright, exactly as they would a pool
+    worker.
+    """
+    from repro.engine.fanout import run_group
+    from repro.tracestore.broadcast import ChunkCursor, replay_fallback
+
+    bundle = list(jobs)
+    fallback = replay_fallback(str(trace_store_dir), bundle[0].trace_key)
+    cursor = ChunkCursor(ring_consumer, fallback)
+    try:
+        results = run_group(bundle, cursor, kernel)
+    except BaseException as error:  # noqa: BLE001 - reported, not silenced
+        out_queue.put((
+            index, "error", f"{type(error).__name__}: {error}",
+            fallback.stats, cursor.accounting(),
+        ))
+        ring_consumer.close()
+        return
+    out_queue.put((
+        index, "ok", [(job.job_hash, result) for job, result in results],
+        fallback.stats, cursor.accounting(),
+    ))
+    ring_consumer.close()
+
+
 def record_trace_for_pool(
     trace_store_dir: Union[str, Path], key: "tuple[str, int, int]"
 ) -> Dict[str, int]:

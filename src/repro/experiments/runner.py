@@ -21,7 +21,11 @@ A ``--trace-store`` directory (or the ``REPRO_TRACE_STORE`` environment
 variable) turns trace generation into a shared, cached resource: each
 ``(workload, length, seed)`` trace is recorded once in a compact binary
 format and replayed by every job — and every ``--jobs`` worker — that
-shares it, across invocations.
+shares it, across invocations. Under ``--jobs N`` the replays collapse
+further: ``--broadcast`` (default ``auto``) runs jobs sharing a trace
+key as a broadcast wave — one reader process walks the key once and
+tees every chunk to all consumers over shared memory, so an N-job sweep
+over one key costs exactly one trace walk total.
 
 Execution is fault-tolerant: every job runs under a retry policy
 (``--retries``, ``--job-timeout``), dead workers are respawned with only
@@ -150,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
         "it (default: $REPRO_TRACE_STORE if set, else off)",
     )
     engine_group.add_argument(
+        "--broadcast", choices=("auto", "on", "off"), default=None,
+        help="shared-memory fan-out: under --jobs N with a trace store, "
+        "jobs sharing a trace key consume ONE reader process's walk "
+        "over a shared-memory ring instead of replaying the store "
+        "independently — N jobs over one key cost exactly one trace "
+        "walk; results are bit-identical either way (default: "
+        "$REPRO_BROADCAST if set, else auto)",
+    )
+    engine_group.add_argument(
         "--retries", type=int, default=3, metavar="N",
         help="attempts each failing job gets before it is recorded as a "
         "structured failure (default: 3; 1 disables retrying)",
@@ -237,6 +250,7 @@ def make_engine(args: argparse.Namespace, journal=None,
         cache_dir=None if args.no_cache else args.cache_dir,
         materialize=True if args.materialize else None,
         trace_store=trace_store,
+        broadcast=getattr(args, "broadcast", None),
         retry=RetryPolicy(
             attempts=max(1, args.retries), timeout=args.job_timeout
         ),

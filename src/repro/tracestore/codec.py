@@ -42,7 +42,13 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Tuple, Union
 
-from repro.kernels import numpy_or_none
+from repro.kernels.decode import (  # noqa: F401  (re-exported wire format)
+    RECORD,
+    RECORD_SIZE,
+    decode_chunk,
+    decode_record,
+    encode_access,
+)
 from repro.kernels.prepass import AccessChunk
 from repro.trace.events import MemoryAccess
 
@@ -52,11 +58,6 @@ INDEX_MAGIC = b"TIDX"
 #: bumped when the record layout changes incompatibly
 #: (2: per-chunk byte-offset/CRC index section before the footer)
 CODEC_VERSION = 2
-
-#: one access: pc u64, address u64, depends_on i64 (-1 = None),
-#: instr_gap u32, is_write u8
-RECORD = struct.Struct("<QQqIB")
-RECORD_SIZE = RECORD.size
 
 _PREAMBLE = struct.Struct("<4sHI")  # magic, version, header length
 #: magic, record count, payload crc32, index-section length
@@ -86,30 +87,9 @@ class ChunkIndexEntry(NamedTuple):
     crc: int
 
 
-def encode_access(access: MemoryAccess) -> bytes:
-    """One access as a fixed-size record (``index`` stays implicit)."""
-    depends = -1 if access.depends_on is None else access.depends_on
-    return RECORD.pack(
-        access.pc, access.address, depends, access.instr_gap,
-        1 if access.is_write else 0,
-    )
-
-
-def decode_record(index: int, record: Tuple[int, int, int, int, int]) -> MemoryAccess:
-    """Rebuild the access at trace position ``index`` from its record."""
-    pc, address, depends, instr_gap, is_write = record
-    return MemoryAccess(
-        index=index,
-        pc=pc,
-        address=address,
-        is_write=bool(is_write),
-        depends_on=None if depends < 0 else depends,
-        instr_gap=instr_gap,
-    )
-
-
 def encode_into(
-    handle, header: Dict[str, Any], accesses: Iterable[MemoryAccess]
+    handle, header: Dict[str, Any], accesses: Iterable[MemoryAccess],
+    on_chunk=None,
 ) -> Iterator[MemoryAccess]:
     """Encode ``accesses`` into an open binary ``handle``, re-yielding
     each access after it is buffered.
@@ -121,6 +101,12 @@ def encode_into(
     contributes one index entry; the index and footer are written
     when — and only when — the input is exhausted, so an abandoned walk
     leaves an unterminated file that readers reject.
+
+    ``on_chunk(first_record_index, chunk_bytes, crc)``, when given, is
+    called for every flushed chunk with exactly the bytes and CRC that
+    went into the file — the broadcast plane taps this to stream a
+    cold key's chunks to shared-memory consumers *while* the file is
+    being recorded, so a cold sweep still costs one walk.
 
     Raises:
         ValueError: if ``accesses`` yields non-consecutive indices.
@@ -138,12 +124,15 @@ def encode_into(
 
     def _flush() -> None:
         nonlocal crc, offset, chunk_start
+        chunk_crc = zlib.crc32(chunk)
         index_entries.append(
-            _INDEX_ENTRY.pack(chunk_start, offset, zlib.crc32(chunk))
+            _INDEX_ENTRY.pack(chunk_start, offset, chunk_crc)
         )
         crc = zlib.crc32(chunk, crc)
         offset += len(chunk)
         handle.write(chunk)
+        if on_chunk is not None:
+            on_chunk(chunk_start, bytes(chunk), chunk_crc)
         chunk_start = count
         chunk.clear()
 
@@ -284,19 +273,8 @@ def read_header(path: Union[str, Path]) -> Dict[str, Any]:
     return _read_layout(Path(path)).header
 
 
-def read_chunk_index(path: Union[str, Path]) -> List[ChunkIndexEntry]:
-    """The per-chunk byte-offset index from ``path``'s index section.
-
-    One entry per aligned :data:`CHUNK_RECORDS`-record chunk, in trace
-    order. Offsets are relative to the payload start; each entry's CRC
-    covers exactly its chunk's bytes, which is what lets a windowed
-    replay validate only the region it reads.
-
-    Raises:
-        TraceFormatError: on structural damage or index inconsistency.
-    """
-    path = Path(path)
-    layout = _read_layout(path)
+def _read_index_entries(path: Path, layout: _Layout) -> List[ChunkIndexEntry]:
+    """Decode the index section of an already-validated ``layout``."""
     entries: List[ChunkIndexEntry] = []
     with path.open("rb") as handle:
         handle.seek(layout.index_start + _INDEX_HEADER.size)
@@ -310,6 +288,83 @@ def read_chunk_index(path: Union[str, Path]) -> List[ChunkIndexEntry]:
         expected_start += CHUNK_RECORDS
         expected_offset += CHUNK_RECORDS * RECORD_SIZE
     return entries
+
+
+class TraceEntryInfo(NamedTuple):
+    """Structural metadata of one trace file — no payload decode.
+
+    Everything a reader needs to plan chunk-granular work (broadcast
+    slot sizing, windowed seeks, span accounting) from one validation
+    pass: the header, the record count, the payload geometry, and the
+    per-chunk index. Produced by :func:`read_entry_info`; exposed as
+    :meth:`repro.tracestore.TraceStore.open_entry`.
+    """
+
+    path: Path
+    header: Dict[str, Any]
+    record_count: int
+    payload_start: int
+    payload_bytes: int
+    payload_crc: int
+    chunks: List[ChunkIndexEntry]
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    def record_spans(self) -> List[Tuple[int, int]]:
+        """Half-open ``(first_record, end_record)`` span per chunk."""
+        return [
+            (entry.record_index,
+             min(entry.record_index + CHUNK_RECORDS, self.record_count))
+            for entry in self.chunks
+        ]
+
+    def chunk_bytes(self, position: int) -> int:
+        """Byte length of chunk ``position`` (the tail may be short)."""
+        entry = self.chunks[position]
+        return min(CHUNK_RECORDS * RECORD_SIZE,
+                   self.payload_bytes - entry.byte_offset)
+
+
+def read_entry_info(path: Union[str, Path]) -> TraceEntryInfo:
+    """Validate ``path`` once and return its structural metadata.
+
+    One layout validation + one index read; payload bytes are never
+    touched. This is the single entry point behind every "what shape is
+    this trace?" question — windowed replay, the broadcast reader, and
+    :meth:`TraceStore.open_entry` all plan from it instead of re-reading
+    the footer per question.
+
+    Raises:
+        TraceFormatError: on structural damage or index inconsistency.
+    """
+    path = Path(path)
+    layout = _read_layout(path)
+    return TraceEntryInfo(
+        path=path,
+        header=layout.header,
+        record_count=layout.count,
+        payload_start=layout.payload_start,
+        payload_bytes=layout.payload_bytes,
+        payload_crc=layout.crc,
+        chunks=_read_index_entries(path, layout),
+    )
+
+
+def read_chunk_index(path: Union[str, Path]) -> List[ChunkIndexEntry]:
+    """The per-chunk byte-offset index from ``path``'s index section.
+
+    One entry per aligned :data:`CHUNK_RECORDS`-record chunk, in trace
+    order. Offsets are relative to the payload start; each entry's CRC
+    covers exactly its chunk's bytes, which is what lets a windowed
+    replay validate only the region it reads.
+
+    Raises:
+        TraceFormatError: on structural damage or index inconsistency.
+    """
+    path = Path(path)
+    return _read_index_entries(path, _read_layout(path))
 
 
 def _read_exact(handle, want: int, path: Path) -> bytes:
@@ -365,20 +420,17 @@ def _iter_chunk_bytes_from(
     (the rolling whole-payload CRC cannot be checked without the
     skipped prefix — the per-chunk CRCs close exactly that gap).
     """
-    layout = _read_layout(path)
     if start_record < 0:
         raise ValueError(f"start_record must be >= 0, got {start_record}")
-    if start_record >= layout.count:
+    info = read_entry_info(path)
+    if start_record >= info.record_count:
         return
-    index_entries = read_chunk_index(path)
     first = start_record // CHUNK_RECORDS
     with path.open("rb") as handle:
-        for entry in index_entries[first:]:
-            handle.seek(layout.payload_start + entry.byte_offset)
-            want = min(
-                CHUNK_RECORDS * RECORD_SIZE,
-                layout.payload_bytes - entry.byte_offset,
-            )
+        for position in range(first, info.chunk_count):
+            entry = info.chunks[position]
+            handle.seek(info.payload_start + entry.byte_offset)
+            want = info.chunk_bytes(position)
             chunk = _read_exact(handle, want, path)
             if zlib.crc32(chunk) != entry.crc:
                 raise TraceFormatError(
@@ -388,68 +440,10 @@ def _iter_chunk_bytes_from(
             yield entry.record_index, chunk
 
 
-def _decode_chunk(first_index: int, chunk: bytes) -> AccessChunk:
-    """Decode one aligned chunk into an :class:`AccessChunk`.
-
-    The vector path decodes the whole chunk columnar with
-    ``numpy.frombuffer`` and builds the access objects with one
-    C-driven ``map``; without numpy the scalar ``struct.iter_unpack``
-    path produces the identical objects.
-    """
-    numpy = numpy_or_none()
-    n = len(chunk) // RECORD_SIZE
-    if numpy is not None:
-        columns = numpy.frombuffer(chunk, dtype=_record_dtype(numpy))
-        addresses = columns["address"]
-        depends = columns["depends"]
-        if bool((depends < 0).all()):
-            depends_list: List = [None] * n
-        else:
-            depends_list = depends.tolist()
-            for position in numpy.flatnonzero(depends < 0).tolist():
-                depends_list[position] = None
-        accesses = list(map(
-            MemoryAccess,
-            range(first_index, first_index + n),
-            columns["pc"].tolist(),
-            addresses.tolist(),
-            (columns["is_write"] != 0).tolist(),
-            depends_list,
-            columns["instr_gap"].tolist(),
-        ))
-        return AccessChunk(accesses, start_index=first_index,
-                           addresses=addresses)
-    accesses = [
-        MemoryAccess(
-            index=index,
-            pc=pc,
-            address=address,
-            is_write=bool(is_write),
-            depends_on=None if depends < 0 else depends,
-            instr_gap=instr_gap,
-        )
-        for index, (pc, address, depends, instr_gap, is_write)
-        in enumerate(RECORD.iter_unpack(chunk), start=first_index)
-    ]
-    return AccessChunk(accesses, start_index=first_index)
-
-
-_RECORD_DTYPE = None
-
-
-def _record_dtype(numpy):
-    """The numpy structured dtype mirroring :data:`RECORD` (cached)."""
-    global _RECORD_DTYPE
-    if _RECORD_DTYPE is None:
-        _RECORD_DTYPE = numpy.dtype([
-            ("pc", "<u8"),
-            ("address", "<u8"),
-            ("depends", "<i8"),
-            ("instr_gap", "<u4"),
-            ("is_write", "u1"),
-        ])
-        assert _RECORD_DTYPE.itemsize == RECORD_SIZE
-    return _RECORD_DTYPE
+#: chunk decode lives in :mod:`repro.kernels.decode` so the broadcast
+#: plane shares it byte-for-byte; kept under the old private name for
+#: in-package callers
+_decode_chunk = decode_chunk
 
 
 def read_access_chunks(

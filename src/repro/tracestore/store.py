@@ -40,12 +40,13 @@ from repro.trace.container import TraceSource
 from repro.tracestore.codec import (
     FOOTER_SIZE,
     RECORD_SIZE,
+    TraceEntryInfo,
     TraceFormatError,
     encode_into,
     read_access_chunks,
     read_accesses,
+    read_entry_info,
     read_header,
-    write_trace,
 )
 from repro.workloads.registry import stream_workload
 
@@ -231,12 +232,34 @@ class TraceStore:
                 continue
         return entries
 
+    # -- structural metadata -----------------------------------------------
+
+    def open_entry(self, key: TraceKey) -> TraceEntryInfo:
+        """Chunk-index metadata for ``key``'s entry — no payload decode.
+
+        One validation pass returning the header, record count, payload
+        geometry and per-chunk record spans/CRCs (see
+        :class:`~repro.tracestore.codec.TraceEntryInfo`). This is how
+        chunk-granular planners — windowed replay, the broadcast
+        reader — ask "what shape is this trace?" without re-reading the
+        footer per question.
+
+        Raises:
+            TraceFormatError: when the entry is missing or structurally
+                damaged (``has()`` first to treat those as misses).
+        """
+        return read_entry_info(self.path_for(key))
+
     # -- recording ---------------------------------------------------------
 
-    def record(self, key: TraceKey) -> Path:
+    def record(self, key: TraceKey, on_chunk=None) -> Path:
         """Generate ``key``'s full trace and publish it atomically.
 
-        A no-op (and a cheap one) when a valid entry already exists.
+        A no-op (and a cheap one) when a valid entry already exists —
+        ``on_chunk`` is **not** called for an already-recorded key.
+        When given, ``on_chunk(first_record, chunk_bytes, crc)`` fires
+        for every flushed chunk during the recording walk (the
+        broadcast plane's cold-key tee).
 
         Returns:
             The entry's path.
@@ -245,17 +268,20 @@ class TraceStore:
         if self.has(key):
             return path
         source = _generation_source(key)
-        self._write(path, _entry_header(key, source), iter(source))
+        self._write(path, _entry_header(key, source), iter(source), on_chunk)
         self.stats.misses += 1
         self.stats.generated += 1
         _fault_plane()[0](path)
         return path
 
-    def _write(self, path: Path, header: Dict[str, object], accesses) -> None:
+    def _write(self, path: Path, header: Dict[str, object], accesses,
+               on_chunk=None) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            write_trace(tmp, header, accesses)
+            with tmp.open("wb") as handle:
+                for _ in encode_into(handle, header, accesses, on_chunk):
+                    pass
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
