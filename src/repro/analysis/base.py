@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Iterable, Optional
 
 from repro.common.config import SystemConfig
@@ -21,6 +22,7 @@ from repro.kernels import KERNEL_VECTOR, resolve_kernel
 from repro.kernels.prepass import AccessChunk, iter_trace_chunks
 from repro.memsys.hierarchy import Hierarchy, ServiceLevel
 from repro.prefetch.sms.generations import ActiveGenerationTable
+from repro.telemetry import PHASE_FINALIZE, PHASE_WALK, phases_active
 from repro.trace.events import MemoryAccess
 
 
@@ -110,15 +112,33 @@ class StreamingAnalysis(abc.ABC):
         Returns:
             Whatever :meth:`finalize` returns.
         """
+        timer = phases_active()
         if resolve_kernel(kernel) == KERNEL_VECTOR:
             update_block = self.update_block
+            if timer is None:
+                for chunk in iter_trace_chunks(accesses):
+                    update_block(chunk)
+                return self.finalize()
             for chunk in iter_trace_chunks(accesses):
+                start = perf_counter()
                 update_block(chunk)
-            return self.finalize()
-        update = self.update
-        for access in accesses:
-            update(access)
-        return self.finalize()
+                timer.add(PHASE_WALK, perf_counter() - start)
+        else:
+            update = self.update
+            if timer is None:
+                for access in accesses:
+                    update(access)
+                return self.finalize()
+            # whole-loop timing (trace production included): per-record
+            # timer calls would dwarf the walk itself
+            start = perf_counter()
+            for access in accesses:
+                update(access)
+            timer.add(PHASE_WALK, perf_counter() - start)
+        start = perf_counter()
+        result = self.finalize()
+        timer.add(PHASE_FINALIZE, perf_counter() - start)
+        return result
 
     @abc.abstractmethod
     def _update(self, access: MemoryAccess) -> None:

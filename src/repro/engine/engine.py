@@ -51,7 +51,6 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
@@ -76,6 +75,7 @@ from repro.engine.faults import (
 from repro.engine.graph import JobGraph
 from repro.engine.job import SimJob
 from repro.kernels import resolve_kernel
+from repro.telemetry import MetricsRegistry, RunTelemetry, process_registry
 from repro.tracestore import TraceStore
 from repro.tracestore.broadcast import (
     MODE_OFF,
@@ -86,7 +86,18 @@ from repro.tracestore.broadcast import (
 from repro.workloads.registry import stream_workload
 
 
-@dataclass
+#: the legacy stat names, in their historical (display) order
+_STAT_FIELDS = (
+    "requested", "deduplicated", "cache_hits", "executed",
+    "generation_passes", "passes_saved", "store_hits", "store_misses",
+    "bytes_replayed", "broadcast_waves", "broadcast_chunks",
+    "bytes_shared", "broadcast_fallbacks", "retries", "requeued",
+    "timeouts", "pool_respawns", "quarantined", "cache_corrupt",
+    "replay_fallbacks", "isolation_fallbacks", "serial_fallbacks",
+    "failures",
+)
+
+
 class EngineStats:
     """Work accounting for one engine (accumulated across run() calls).
 
@@ -119,31 +130,35 @@ class EngineStats:
     execution), ``serial_fallbacks`` (parallel batches degraded to the
     serial path), and ``failures`` (jobs that exhausted every retry).
     A clean run keeps all of them at zero.
+
+    Since the telemetry plane landed, this class is a **view** over a
+    :class:`~repro.telemetry.MetricsRegistry` rather than its own
+    counter soup: each stat reads/writes the ``engine.<name>`` counter
+    of the backing registry (the engine's :attr:`~Engine.telemetry`
+    registry), so the legacy one-liner and ``metrics.json`` can never
+    disagree. The attribute API — read, assign, ``+=`` — is unchanged.
     """
 
-    requested: int = 0
-    deduplicated: int = 0
-    cache_hits: int = 0
-    executed: int = 0
-    generation_passes: int = 0
-    passes_saved: int = 0
-    store_hits: int = 0
-    store_misses: int = 0
-    bytes_replayed: int = 0
-    broadcast_waves: int = 0
-    broadcast_chunks: int = 0
-    bytes_shared: int = 0
-    broadcast_fallbacks: int = 0
-    retries: int = 0
-    requeued: int = 0
-    timeouts: int = 0
-    pool_respawns: int = 0
-    quarantined: int = 0
-    cache_corrupt: int = 0
-    replay_fallbacks: int = 0
-    isolation_fallbacks: int = 0
-    serial_fallbacks: int = 0
-    failures: int = 0
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 **initial: int) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        for name, value in initial.items():
+            if name not in _STAT_FIELDS:
+                raise TypeError(f"unknown engine stat {name!r}")
+            setattr(self, name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name in _STAT_FIELDS
+        )
+        return f"EngineStats({fields})"
 
     def absorb_trace_stats(self, delta: Dict[str, int]) -> None:
         """Fold a trace-store accounting delta (worker or store handle) in."""
@@ -206,6 +221,24 @@ class EngineStats:
             ]
             text += "; faults: " + ", ".join(parts)
         return text
+
+
+def _stat_view(name: str) -> property:
+    """An int attribute backed by the ``engine.<name>`` counter."""
+    key = "engine." + name
+
+    def fget(self: EngineStats) -> int:
+        return int(self.registry.counter(key))
+
+    def fset(self: EngineStats, value: int) -> None:
+        self.registry.set_counter(key, value)
+
+    return property(fget, fset)
+
+
+for _name in _STAT_FIELDS:
+    setattr(EngineStats, _name, _stat_view(_name))
+del _name
 
 
 class ResultMap(Dict[str, Any]):
@@ -319,7 +352,12 @@ class Engine:
         self.strict = strict
         self.journal = journal
         self.interrupt = interrupt
-        self.stats = EngineStats()
+        self.telemetry = RunTelemetry()
+        self.stats = EngineStats(self.telemetry.registry)
+        registry = self.telemetry.registry
+        registry.set_gauge("engine.kernel", self.kernel)
+        registry.set_gauge("engine.jobs", self.jobs)
+        registry.set_gauge("engine.broadcast", self.broadcast)
 
     def run(self, graph: JobGraph) -> ResultMap:
         """Execute every job in ``graph``.
@@ -338,14 +376,24 @@ class Engine:
         self.stats.deduplicated += graph.deduplicated
         cache_before = self.cache.stats.as_dict() if self.cache else None
         journal = self.journal
+        telemetry = self.telemetry
+        # phase timers accumulate in the process-global registry (a
+        # forked worker inherits these counts, hence delta-folding
+        # everywhere); snapshot so this run folds only its own serial
+        # phase time
+        phase_before = (
+            process_registry().snapshot() if telemetry.enabled else None
+        )
         results = ResultMap()
         pending = []
         for job in graph:
             if journal is not None:
                 journal.job_scheduled(job)
+            telemetry.job_scheduled(job)
             cached = self.cache.load(job) if self.cache else None
             if cached is not None:
                 self.stats.cache_hits += 1
+                telemetry.job_cached(job)
                 results[job.job_hash] = cached
                 if journal is not None:
                     journal.job_completed(
@@ -357,6 +405,9 @@ class Engine:
             if pending:
                 for job, result in self._execute(pending):
                     results[job.job_hash] = result
+                    telemetry.job_finished(
+                        job, ok=not isinstance(result, JobFailure)
+                    )
                     if isinstance(result, JobFailure):
                         if journal is not None:
                             journal.job_failed(result)
@@ -371,6 +422,10 @@ class Engine:
                         # and there is nothing to recover from)
                         journal.job_completed(job, shard=shard)
         finally:
+            if phase_before is not None:
+                telemetry.registry.merge(
+                    process_registry().delta_since(phase_before)
+                )
             if self.cache is not None:
                 after = self.cache.stats.as_dict()
                 self.stats.cache_corrupt += (
@@ -464,6 +519,7 @@ class Engine:
             self._dispatch_gate()
             if journal is not None:
                 journal.attempt_started(job.job_hash, 1)
+            self.telemetry.attempt_started(job.job_hash, 1)
         for _ in range(2):
             accesses, generated = self._serial_pass(key)
             try:
@@ -507,6 +563,7 @@ class Engine:
             attempt = log.attempts + 1
             if journal is not None:
                 journal.attempt_started(job.job_hash, attempt)
+            self.telemetry.attempt_started(job.job_hash, attempt)
             before = store.stats.as_dict() if store is not None else None
             try:
                 result = execute_job(
@@ -526,6 +583,10 @@ class Engine:
                         job.job_hash, log.attempts,
                         f"{type(error).__name__}: {error}",
                     )
+                self.telemetry.attempt_finished(
+                    job.job_hash, "failed",
+                    error=f"{type(error).__name__}: {error}",
+                )
                 if log.attempts >= policy.attempts:
                     return self._give_up(log)
                 self.stats.retries += 1
@@ -657,6 +718,7 @@ class Engine:
 
         stats = self.stats
         journal = self.journal
+        telemetry = self.telemetry
         bundles = [
             group[start::min(self.jobs, len(group))]
             for start in range(min(self.jobs, len(group)))
@@ -666,12 +728,21 @@ class Engine:
         except (OSError, ValueError):
             remaining.extend(group)  # no shared memory: the pool replays
             return
+        bundle_of = {
+            job.job_hash: index
+            for index, bundle in enumerate(bundles)
+            for job in bundle
+        }
         for job in group:
             # one dispatch per job even though the wave shares a walk —
             # keeps kill_at_job indices meaningful across modes
             self._dispatch_gate()
             if journal is not None:
                 journal.attempt_started(job.job_hash, 1)
+            telemetry.attempt_started(
+                job.job_hash, 1,
+                worker=f"bundle-{bundle_of[job.job_hash]}",
+            )
         stats.broadcast_waves += 1
         out_queue = multiprocessing.Queue()
         status_queue = multiprocessing.Queue()
@@ -709,6 +780,10 @@ class Engine:
                     bundle, proc = outstanding.pop(index)
                     ring.detach(index)  # its free tokens are gone with it
                     proc.join()
+                    telemetry.absorb_bundle(
+                        [job.job_hash for job in bundle],
+                        shared.pop("telemetry", None) or {},
+                    )
                     stats.broadcast_chunks += shared["broadcast_chunks"]
                     stats.bytes_shared += shared["bytes_shared"]
                     stats.broadcast_fallbacks += shared["broadcast_fallbacks"]
@@ -802,6 +877,9 @@ class Engine:
             self.journal.attempt_failed(
                 job.job_hash, log.attempts, f"{type(error).__name__}: {error}"
             )
+        self.telemetry.attempt_finished(
+            job.job_hash, "failed", error=f"{type(error).__name__}: {error}"
+        )
         if log.attempts >= self.retry.attempts:
             yield job, self._give_up(log)
             return
@@ -823,6 +901,7 @@ class Engine:
             "worker_crash", job.job_hash, log.attempts + 1
         ):
             self.stats.requeued += 1
+            self.telemetry.attempt_finished(job.job_hash, "requeued")
             remaining.append(job)
             return
         yield from self._charge_wave_job(
@@ -947,6 +1026,9 @@ class _PoolSupervisor:
                         except Exception as error:
                             yield from self._charge(job, log, error, queue)
                             continue
+                        self.engine.telemetry.absorb_attempt(
+                            job.job_hash, delta.pop("telemetry", None) or {}
+                        )
                         self.stats.absorb_trace_stats(delta)
                         if not self.materialize:
                             self.stats.passes_saved += 1 - delta.get(
@@ -986,6 +1068,9 @@ class _PoolSupervisor:
                 self.engine._dispatch_gate()
             if journal is not None:
                 journal.attempt_started(job.job_hash, log.attempts + 1)
+            self.engine.telemetry.attempt_started(
+                job.job_hash, log.attempts + 1, worker="pool"
+            )
             try:
                 future = self.pool.submit(
                     execute_job_for_pool,
@@ -1033,6 +1118,9 @@ class _PoolSupervisor:
                 job.job_hash, log.attempts,
                 f"{type(error).__name__}: {error}",
             )
+        self.engine.telemetry.attempt_finished(
+            job.job_hash, "failed", error=f"{type(error).__name__}: {error}"
+        )
         if log.attempts >= self.policy.attempts:
             yield job, self.engine._give_up(log)
             return
@@ -1060,6 +1148,9 @@ class _PoolSupervisor:
                 yield from self._charge(job, log, error, queue)
             else:
                 self.stats.requeued += 1
+                self.engine.telemetry.attempt_finished(
+                    job.job_hash, "requeued"
+                )
                 queue.append((job, log, 0.0))
 
     def _crash_culprits(self, victims) -> Optional[set]:
@@ -1101,6 +1192,7 @@ class _PoolSupervisor:
         self._respawn()
         for job, log in victims:
             self.stats.requeued += 1
+            self.engine.telemetry.attempt_finished(job.job_hash, "requeued")
             queue.append((job, log, 0.0))
 
     def _serial_remainder(self, queue, in_flight) -> Iterable:

@@ -33,6 +33,7 @@ the memory/time trade-off.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -65,8 +66,10 @@ from repro.prefetch.sms.sms import SMSPrefetcher
 from repro.prefetch.stems.stems import STeMSPrefetcher
 from repro.prefetch.stride import StridePrefetcher
 from repro.prefetch.tms.tms import TMSPrefetcher
+from repro.kernels import resolve_kernel
 from repro.sim.driver import SimulationDriver
 from repro.sim.timing import TimingModel
+from repro.telemetry import process_registry, telemetry_enabled
 from repro.trace.container import Trace, TraceLike
 from repro.workloads.registry import (
     WORKLOAD_CATEGORIES,
@@ -347,6 +350,12 @@ def execute_job_for_pool(
     is recovered in-worker (quarantine + regenerate, reported through
     the stats delta); other failures propagate to the parent's retry
     supervisor.
+
+    With telemetry on, the dict additionally carries a ``"telemetry"``
+    key — the worker's phase-timer delta plus a span self-report
+    (wall/CPU time, kernel, store hit/miss, bytes replayed) — which
+    the parent pops before folding the trace counters; the tuple shape
+    itself never changes.
     """
     if materialize is None:
         materialize = default_materialize()
@@ -355,6 +364,10 @@ def execute_job_for_pool(
         from repro.tracestore import TraceStore
 
         store = TraceStore(trace_store_dir)
+    telemetry = telemetry_enabled()
+    if telemetry:
+        phase_before = process_registry().snapshot()
+        wall0, cpu0 = time.perf_counter(), time.process_time()
     result = execute_job_recovering(job, materialize, store, attempt, kernel)
     if store is not None:
         stats = store.stats.as_dict()
@@ -362,6 +375,23 @@ def execute_job_for_pool(
         stats = {}
     else:
         stats = {"generated": 1}
+    if telemetry:
+        span = {
+            "worker": f"worker-{os.getpid()}",
+            "wall_s": time.perf_counter() - wall0,
+            "cpu_s": time.process_time() - cpu0,
+            "kernel": resolve_kernel(kernel),
+        }
+        if store is not None:
+            span["store"] = "hit" if stats.get("hits") else "miss"
+            span["bytes_replayed"] = stats.get("bytes_replayed", 0)
+            if stats.get("replay_fallbacks"):
+                span["fallback"] = "replay->regenerate"
+        stats = dict(stats)
+        stats["telemetry"] = {
+            "metrics": process_registry().delta_since(phase_before),
+            "span": span,
+        }
     return job.job_hash, result, stats
 
 
@@ -390,7 +420,9 @@ def execute_jobs_broadcast(
     description; the parent charges each bundled job's retry budget and
     requeues them through the pool path). Injected ``worker_crash``
     draws kill the process outright, exactly as they would a pool
-    worker.
+    worker. With telemetry on, the broadcast-accounting dict carries a
+    ``"telemetry"`` key (phase-timer delta + bundle span self-report)
+    that the parent pops before folding the counters.
     """
     from repro.engine.fanout import run_group
     from repro.tracestore.broadcast import ChunkCursor, replay_fallback
@@ -398,18 +430,41 @@ def execute_jobs_broadcast(
     bundle = list(jobs)
     fallback = replay_fallback(str(trace_store_dir), bundle[0].trace_key)
     cursor = ChunkCursor(ring_consumer, fallback)
+    telemetry = telemetry_enabled()
+    if telemetry:
+        phase_before = process_registry().snapshot()
+        wall0, cpu0 = time.perf_counter(), time.process_time()
+
+    def accounting() -> dict:
+        shared = cursor.accounting()
+        if telemetry:
+            span = {
+                "worker": f"bundle-{index}",
+                "wall_s": time.perf_counter() - wall0,
+                "cpu_s": time.process_time() - cpu0,
+                "kernel": resolve_kernel(kernel),
+                "bundle_jobs": len(bundle),
+            }
+            if shared["broadcast_fallbacks"]:
+                span["fallback"] = "broadcast->replay"
+            shared["telemetry"] = {
+                "metrics": process_registry().delta_since(phase_before),
+                "span": span,
+            }
+        return shared
+
     try:
         results = run_group(bundle, cursor, kernel)
     except BaseException as error:  # noqa: BLE001 - reported, not silenced
         out_queue.put((
             index, "error", f"{type(error).__name__}: {error}",
-            fallback.stats, cursor.accounting(),
+            fallback.stats, accounting(),
         ))
         ring_consumer.close()
         return
     out_queue.put((
         index, "ok", [(job.job_hash, result) for job, result in results],
-        fallback.stats, cursor.accounting(),
+        fallback.stats, accounting(),
     ))
     ring_consumer.close()
 

@@ -18,6 +18,7 @@ recorded trace from the :class:`~repro.tracestore.TraceStore`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.exec import (
@@ -30,6 +31,7 @@ from repro.engine.job import KIND_COVERAGE, KIND_TIMING, SimJob
 from repro.kernels import KERNEL_VECTOR, resolve_kernel
 from repro.kernels.prepass import iter_trace_chunks
 from repro.sim.driver import SimulationDriver
+from repro.telemetry import PHASE_FINALIZE, PHASE_WALK, phases_active
 from repro.trace.events import MemoryAccess
 
 
@@ -115,8 +117,22 @@ def run_group(
     for job in jobs:
         maybe_fail_job(job.job_hash, 1)
     consumers = [job_consumer(job) for job in jobs]
+    # ``walk_step`` phase accounting: the vector pump times the
+    # consumer updates per chunk (chunk decode is accounted separately
+    # inside decode_chunk; the pre-pass columns, computed lazily inside
+    # a chunk's first update, nest under walk_step as well as prepass);
+    # the python pump times the whole record loop, which includes trace
+    # production — per-record timer calls would dwarf the walk itself
+    timer = phases_active()
     if resolve_kernel(kernel) == KERNEL_VECTOR:
-        if len(consumers) == 1:
+        if timer is not None:
+            chunk_updates = [c.update_block for c in consumers]
+            for chunk in iter_trace_chunks(accesses):
+                start = perf_counter()
+                for update_block in chunk_updates:
+                    update_block(chunk)
+                timer.add(PHASE_WALK, perf_counter() - start)
+        elif len(consumers) == 1:
             update_block = consumers[0].update_block
             for chunk in iter_trace_chunks(accesses):
                 update_block(chunk)
@@ -126,15 +142,29 @@ def run_group(
                 for update_block in chunk_updates:
                     update_block(chunk)
     elif len(consumers) == 1:
+        start = perf_counter() if timer is not None else 0.0
         update = consumers[0].update
         for access in accesses:
             update(access)
+        if timer is not None:
+            timer.add(PHASE_WALK, perf_counter() - start)
     else:
+        start = perf_counter() if timer is not None else 0.0
         updates = [consumer.update for consumer in consumers]
         for access in accesses:
             for update in updates:
                 update(access)
-    return [
+        if timer is not None:
+            timer.add(PHASE_WALK, perf_counter() - start)
+    if timer is None:
+        return [
+            (job, consumer.finalize())
+            for job, consumer in zip(jobs, consumers)
+        ]
+    start = perf_counter()
+    results = [
         (job, consumer.finalize())
         for job, consumer in zip(jobs, consumers)
     ]
+    timer.add(PHASE_FINALIZE, perf_counter() - start, calls=len(results))
+    return results

@@ -220,7 +220,14 @@ class RunJournal:
     # -- low-level ---------------------------------------------------------
 
     def append(self, event: Dict[str, Any]) -> None:
-        """Write one event durably (flush + fsync before returning)."""
+        """Write one event durably (flush + fsync before returning).
+
+        Every event gets a ``t`` epoch timestamp (µs resolution) unless
+        the caller supplied one — the telemetry plane's ``repro-report``
+        derives queueing and attempt durations from these, and readers
+        use ``.get`` so journals from before the field remain valid.
+        """
+        event.setdefault("t", round(time.time(), 6))
         self._handle.write(encode_line(event) + "\n")
         self._handle.flush()
         if self.fsync:

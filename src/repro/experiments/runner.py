@@ -73,6 +73,7 @@ from repro.engine import (
     runs_root,
 )
 from repro.engine.journal import JournalError, config_hash, mark_resumed
+from repro.telemetry import resolve_telemetry
 from repro.tracestore import default_trace_store_dir
 from repro.experiments import (
     baselines,
@@ -359,9 +360,38 @@ def _resolve_resume(args: argparse.Namespace) -> argparse.Namespace:
     return resumed
 
 
+def _write_telemetry(engine: Engine, journal) -> None:
+    """Serialize the run's telemetry next to its journal (best effort).
+
+    Called on every terminal path — clean, degraded, strict abort,
+    graceful interrupt — so ``repro-report`` has ``metrics.json`` even
+    for runs that did not finish. A write failure is reported but never
+    changes the run's outcome.
+    """
+    if journal is None or not engine.telemetry.enabled:
+        return
+    try:
+        written = engine.telemetry.write(journal.directory, journal.run_id)
+    except OSError as error:
+        print(f"[telemetry: write failed: {error}]", file=sys.stderr)
+        return
+    if written:
+        names = ", ".join(path.name for path in written)
+        print(f"[telemetry: {names} written to {journal.directory}]",
+              file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     original_argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
+    try:
+        # validate the telemetry mode up front: the hot-path check
+        # (phases_active) deliberately never raises, so a typo'd
+        # REPRO_TELEMETRY must be caught before any work happens
+        resolve_telemetry()
+    except ValueError as error:
+        print(f"[telemetry: {error}]", file=sys.stderr)
+        return 2
     if args.list_available:
         print(list_available())
         return 0
@@ -413,13 +443,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"[engine: strict abort — {error.failure.summary()}]",
                       file=sys.stderr)
                 print(f"[{engine.stats.format()}]", file=sys.stderr)
+                _write_telemetry(engine, journal)
                 if journal is not None:
-                    journal.finish("failed")
+                    journal.finish("failed", stats=engine.stats.as_dict())
                 return 2
             except RunInterrupted as stop:
                 print(f"[engine: {stop}]", file=sys.stderr)
+                _write_telemetry(engine, journal)
                 if journal is not None:
-                    journal.finish("interrupted")
+                    journal.finish(
+                        "interrupted", stats=engine.stats.as_dict()
+                    )
                     print(
                         f"[run {journal.run_id} interrupted — resume with "
                         f"--resume {journal.run_id} (or --resume last)]",
@@ -429,6 +463,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures = results.failures()
             for failure in failures:
                 print(f"[engine: {failure.summary()}]", file=sys.stderr)
+            # per-experiment stderr notes are buffered and flushed after
+            # the tables: an --export run piping stdout must not get
+            # stats lines interleaved mid-table (the notes land on
+            # stderr in one block once stdout is complete)
+            notes: List[str] = []
             for name in names:
                 module = EXPERIMENTS[name]
                 try:
@@ -445,20 +484,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                     # a failed job leaves a hole this experiment needs;
                     # the run still surfaces every other table
                     # (degraded, exit 1)
-                    print(f"[{name}: table skipped — {len(failures)} job(s) "
-                          "failed permanently]", file=sys.stderr)
+                    notes.append(
+                        f"[{name}: table skipped — {len(failures)} job(s) "
+                        "failed permanently]"
+                    )
                     print()
                     continue
                 print(table)
                 if exported is not None:
-                    print(f"[{name}: rows exported to {exported}]",
-                          file=sys.stderr)
+                    notes.append(f"[{name}: rows exported to {exported}]")
                 print()
+            sys.stdout.flush()
+            for note in notes:
+                print(note, file=sys.stderr)
+            # the legacy one-liner stays byte-compatible in every
+            # telemetry mode (CI greps it); telemetry only adds lines
             print(f"[{engine.stats.format()}, {time.time() - started:.1f}s]",
                   file=sys.stderr)
+            _write_telemetry(engine, journal)
             degraded = engine.stats.degraded
             if journal is not None:
-                journal.finish("degraded" if degraded else "clean")
+                journal.finish(
+                    "degraded" if degraded else "clean",
+                    stats=engine.stats.as_dict(),
+                )
             return 1 if degraded else 0
     except KeyboardInterrupt:
         # second SIGINT: hard abort — the journal is deliberately left

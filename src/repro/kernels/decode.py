@@ -17,10 +17,12 @@ path produces the identical objects.
 from __future__ import annotations
 
 import struct
+from time import perf_counter
 from typing import List, Tuple
 
 from repro.kernels import numpy_or_none
 from repro.kernels.prepass import AccessChunk
+from repro.telemetry import PHASE_DECODE, phases_active
 from repro.trace.events import MemoryAccess
 
 #: one access: pc u64, address u64, depends_on i64 (-1 = None),
@@ -77,7 +79,21 @@ def decode_chunk(first_index: int, chunk: bytes) -> AccessChunk:
     with ``numpy.frombuffer`` and builds the access objects with one
     C-driven ``map``; without numpy the scalar ``struct.iter_unpack``
     path produces the identical objects.
+
+    The ``chunk_decode`` phase timer wraps this function (one timer
+    call per chunk, nothing per record; ``REPRO_TELEMETRY=off``
+    reduces it to a single ``None`` check).
     """
+    timer = phases_active()
+    if timer is None:
+        return _decode_chunk(first_index, chunk)
+    start = perf_counter()
+    result = _decode_chunk(first_index, chunk)
+    timer.add(PHASE_DECODE, perf_counter() - start)
+    return result
+
+
+def _decode_chunk(first_index: int, chunk: bytes) -> AccessChunk:
     numpy = numpy_or_none()
     n = len(chunk) // RECORD_SIZE
     if numpy is not None:

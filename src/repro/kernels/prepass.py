@@ -18,8 +18,10 @@ construction.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from repro.telemetry import PHASE_PREPASS, phases_active
 from repro.trace.events import MemoryAccess
 
 #: records per chunk used by the generic batching wrapper (mirrors the
@@ -82,7 +84,22 @@ class AccessChunk:
     # -- derived columns ---------------------------------------------------
 
     def _shifted(self, bits: int) -> List[int]:
-        """``address >> bits`` for the whole chunk, as Python ints."""
+        """``address >> bits`` for the whole chunk, as Python ints.
+
+        Computes one derived column — the unit the ``prepass`` phase
+        timer accounts (one timer call per column per chunk; note the
+        pre-pass runs *inside* a chunk's walk step, so its time also
+        appears under ``walk_step``).
+        """
+        timer = phases_active()
+        if timer is None:
+            return self._shifted_column(bits)
+        start = perf_counter()
+        column = self._shifted_column(bits)
+        timer.add(PHASE_PREPASS, perf_counter() - start)
+        return column
+
+    def _shifted_column(self, bits: int) -> List[int]:
         addresses = self._addresses
         if addresses is not None:
             import numpy
@@ -112,7 +129,11 @@ class AccessChunk:
     def read_mask(self) -> List[bool]:
         """Per-access ``not is_write`` (True = demand read)."""
         if self._read_mask is None:
+            timer = phases_active()
+            start = perf_counter() if timer is not None else 0.0
             self._read_mask = [not a.is_write for a in self.accesses]
+            if timer is not None:
+                timer.add(PHASE_PREPASS, perf_counter() - start)
         return self._read_mask
 
     def stride_deltas(self, block_bits: int) -> List[int]:
@@ -124,6 +145,10 @@ class AccessChunk:
         """
         if self._deltas_bits != block_bits:
             blocks = self.blocks_for(block_bits)
+            # time only the delta computation: blocks_for above already
+            # accounted its column under the same phase
+            timer = phases_active()
+            start = perf_counter() if timer is not None else 0.0
             addresses = self._addresses
             if addresses is not None and len(blocks) > 1:
                 import numpy
@@ -136,6 +161,8 @@ class AccessChunk:
                     b - a for a, b in zip(blocks, blocks[1:])
                 ]
             self._deltas_bits = block_bits
+            if timer is not None:
+                timer.add(PHASE_PREPASS, perf_counter() - start)
         return self._deltas
 
 

@@ -24,6 +24,7 @@ timing job runs end to end in O(1) memory.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Iterable, Optional, Protocol, Tuple
 
 from repro.common.config import SystemConfig
@@ -40,6 +41,7 @@ from repro.sim.results import (
     SERVICE_SVB,
     CoverageResult,
 )
+from repro.telemetry import PHASE_FINALIZE, PHASE_WALK, phases_active
 from repro.trace.container import Trace, TraceLike
 from repro.trace.events import MemoryAccess
 
@@ -318,15 +320,37 @@ class SimulationDriver:
         pre-pass — and remains bit-identical by construction.
         """
         walk = self.start(trace.name)
+        timer = phases_active()
         if resolve_kernel(kernel) == KERNEL_VECTOR:
             step_chunk = walk.step_chunk
+            if timer is None:
+                for chunk in iter_trace_chunks(trace):
+                    step_chunk(chunk)
+                return walk.finish()
             for chunk in iter_trace_chunks(trace):
+                start = perf_counter()
                 step_chunk(chunk)
-            return walk.finish()
+                timer.add(PHASE_WALK, perf_counter() - start)
+            return self._finish_timed(walk, timer)
         step = walk.step
+        if timer is None:
+            for access, block in self._access_blocks(trace):
+                step(access, block)
+            return walk.finish()
+        # the python pump times the whole record loop (trace production
+        # included): per-record timer calls would dwarf the walk itself
+        start = perf_counter()
         for access, block in self._access_blocks(trace):
             step(access, block)
-        return walk.finish()
+        timer.add(PHASE_WALK, perf_counter() - start)
+        return self._finish_timed(walk, timer)
+
+    @staticmethod
+    def _finish_timed(walk: "DriverWalk", timer) -> CoverageResult:
+        start = perf_counter()
+        result = walk.finish()
+        timer.add(PHASE_FINALIZE, perf_counter() - start)
+        return result
 
     def _access_blocks(
         self, trace: TraceLike

@@ -1,0 +1,111 @@
+"""Per-job attempt spans and their Chrome trace-event rendering.
+
+Every job attempt the engine dispatches opens an :class:`AttemptSpan`
+(queued → dispatched → attempt N → done/failed).  The runner serializes
+the collected spans into ``metrics.json`` (always, when telemetry is
+on) and — at ``REPRO_TELEMETRY=trace`` — additionally renders them as
+Chrome trace-event JSON (``trace.json``), loadable in Perfetto or
+``chrome://tracing``: one track (thread) per worker, one ``X`` duration
+event per attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class AttemptSpan:
+    """One dispatch of one job: timing, placement, and outcome."""
+
+    job_hash: str
+    label: str
+    kind: str
+    attempt: int = 1
+    worker: str = "main"
+    queued: Optional[float] = None   # epoch seconds, graph admission
+    start: Optional[float] = None    # epoch seconds, dispatch
+    end: Optional[float] = None      # epoch seconds, completion
+    status: str = "open"             # open | ok | failed | requeued
+    wall_s: Optional[float] = None   # in-worker wall time when reported
+    cpu_s: Optional[float] = None    # in-worker CPU time when reported
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "job": self.job_hash,
+            "label": self.label,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "worker": self.worker,
+            "queued": self.queued,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttemptSpan":
+        return cls(
+            job_hash=data["job"], label=data["label"], kind=data["kind"],
+            attempt=data.get("attempt", 1),
+            worker=data.get("worker", "main"),
+            queued=data.get("queued"), start=data.get("start"),
+            end=data.get("end"), status=data.get("status", "open"),
+            wall_s=data.get("wall_s"), cpu_s=data.get("cpu_s"),
+            detail=dict(data.get("detail", {})),
+        )
+
+
+def chrome_trace(spans: List[AttemptSpan], run_id: str = "") -> dict:
+    """Render spans as a Chrome trace-event document.
+
+    Workers map to integer thread ids (``main`` is always tid 0) with
+    ``thread_name`` metadata, so Perfetto shows one labelled track per
+    worker.  Timestamps are microseconds relative to the earliest span
+    start, which keeps the values small and the trace self-contained.
+    """
+    events: List[dict] = []
+    pid = 1
+    events.append({
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": f"repro run {run_id}".strip()},
+    })
+    tids: Dict[str, int] = {"main": 0}
+    for span in spans:
+        if span.worker not in tids:
+            tids[span.worker] = len(tids)
+    for worker, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": worker},
+        })
+    starts = [span.start for span in spans if span.start is not None]
+    origin = min(starts) if starts else 0.0
+    for span in spans:
+        if span.start is None:
+            continue
+        end = span.end if span.end is not None else span.start
+        args = {"status": span.status, "attempt": span.attempt}
+        if span.cpu_s is not None:
+            args["cpu_s"] = round(span.cpu_s, 6)
+        if span.queued is not None:
+            args["queued_for_s"] = round(span.start - span.queued, 6)
+        args.update(span.detail)
+        events.append({
+            "name": f"{span.label} · attempt {span.attempt}",
+            "cat": span.kind,
+            "ph": "X",
+            "pid": pid,
+            "tid": tids[span.worker],
+            "ts": round((span.start - origin) * 1e6, 1),
+            "dur": round(max(end - span.start, 0.0) * 1e6, 1),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

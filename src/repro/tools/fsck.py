@@ -14,6 +14,11 @@ durable state the engine relies on:
 * **run journals** — every ``runs/<run_id>/journal.jsonl`` parses to a
   valid prefix (a torn final line is normal crash evidence; mid-file
   damage is not), and manifests are readable;
+* **telemetry files** — ``metrics.json``/``trace.json`` in run
+  directories parse as JSON. Telemetry is derived observability data,
+  never load-bearing state, so a torn or orphaned telemetry file is
+  always a *note* (exit code 0), though ``--repair`` still quarantines
+  unparseable ones so ``repro-report`` sees a clean directory;
 * **stray temp files** — ``*.tmp.<pid>`` leftovers from writers that
   died between write and atomic rename.
 
@@ -50,6 +55,7 @@ from repro.engine.journal import (
     load_run,
     write_manifest,
 )
+from repro.telemetry import METRICS_NAME, TRACE_NAME
 from repro.tracestore.codec import read_accesses
 
 
@@ -65,8 +71,8 @@ class Finding:
     action: str = ""     #: what --repair did (or would do)
 
     def format(self) -> str:
-        tag = "note" if not self.damage else (
-            "repaired" if self.repaired else "DAMAGE"
+        tag = "repaired" if self.repaired else (
+            "note" if not self.damage else "DAMAGE"
         )
         text = f"[{tag}] {self.plane}: {self.path}: {self.problem}"
         if self.repaired and self.action:
@@ -219,6 +225,13 @@ def _fsck_journals(runs: Path, report: Report, repair: bool) -> None:
                 "(run directory is unusable)",
                 action="",  # nothing to rebuild from
             ))
+            for name in (METRICS_NAME, TRACE_NAME):
+                telemetry_path = run_dir / name
+                if telemetry_path.is_file():
+                    report.add(Finding(
+                        telemetry_path, "telemetry",
+                        "orphaned (its run has no journal)", damage=False,
+                    ))
             continue
         record = load_run(run_dir)
         if record.damage is not None:
@@ -237,6 +250,7 @@ def _fsck_journals(runs: Path, report: Report, repair: bool) -> None:
             if repair:
                 finding.repaired = _repair_journal(record, journal_path)
         _check_manifest(record, run_dir, report, repair)
+        _check_telemetry(run_dir, report, repair)
 
 
 def _repair_journal(record, journal_path: Path) -> bool:
@@ -253,6 +267,34 @@ def _repair_journal(record, journal_path: Path) -> bool:
         return True
     except OSError:
         return False
+
+
+def _check_telemetry(run_dir: Path, report: Report, repair: bool) -> None:
+    """Telemetry artifacts are derived data: a torn ``metrics.json`` or
+    ``trace.json`` (writer died mid-rename, disk full) is never damage —
+    the journal remains the source of truth — but ``--repair``
+    quarantines unparseable ones so ``repro-report`` and trace viewers
+    don't trip over them."""
+    for name in (METRICS_NAME, TRACE_NAME):
+        path = run_dir / name
+        if not path.is_file():
+            continue
+        report.checked += 1
+        try:
+            json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            finding = report.add(Finding(
+                path, "telemetry",
+                f"unparseable ({type(error).__name__}); telemetry is "
+                "derived data — the journal is unaffected",
+                damage=False,
+                action="quarantined",
+            ))
+            if repair:
+                moved = quarantine_file(
+                    path, run_dir, f"fsck: unparseable {name}"
+                )
+                finding.repaired = moved is not None
 
 
 def _check_manifest(record, run_dir: Path, report: Report,

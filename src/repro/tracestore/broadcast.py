@@ -33,9 +33,11 @@ from __future__ import annotations
 import os
 import struct
 import zlib
+from time import perf_counter
 from typing import Callable, Iterator, List, Optional
 
 from repro.kernels.decode import RECORD_SIZE, decode_chunk
+from repro.telemetry import process_registry, telemetry_enabled
 from repro.kernels.prepass import AccessChunk, chunk_accesses
 from repro.tracestore.codec import (
     CHUNK_RECORDS,
@@ -384,8 +386,19 @@ class ChunkCursor:
         self.complete = False
 
     def iter_chunks(self) -> Iterator[AccessChunk]:
+        # with telemetry on, account time spent blocked on the ring
+        # (producer-bound waits) separately from decode/walk time — the
+        # counter rides home in the consumer's telemetry envelope
+        registry = process_registry() if telemetry_enabled() else None
         while True:
-            kind, first_record, payload, crc = self._ring.next_item()
+            if registry is None:
+                kind, first_record, payload, crc = self._ring.next_item()
+            else:
+                waited = perf_counter()
+                kind, first_record, payload, crc = self._ring.next_item()
+                registry.inc(
+                    "broadcast.ring_wait_seconds", perf_counter() - waited
+                )
             if kind == KIND_DONE:
                 if first_record != self.next_record:
                     break  # short stream (torn writer): top up from file

@@ -290,6 +290,24 @@ class TestBroadcastSweep:
         assert stats.store_hits == 0
         assert stats.broadcast_waves == len(keys)
 
+    def test_telemetry_counters_broadcast_equals_off(self, tmp_path):
+        # the bundle consumers ship one metrics delta per bundle; the
+        # folded path-invariant counters must match independent replay
+        def invariant(store, broadcast):
+            engine = Engine(jobs=4, trace_store=store, broadcast=broadcast)
+            engine.run(_declare())
+            registry = engine.telemetry.registry
+            return engine, {**registry.counters("jobs."),
+                            **registry.counters("walk.")}
+
+        _, off = invariant(tmp_path / "off", "off")
+        engine, on = invariant(tmp_path / "on", "on")
+        assert on == off
+        # the ring-wait accounting came home in the consumer envelopes
+        assert engine.telemetry.registry.counter(
+            "broadcast.ring_wait_seconds"
+        ) > 0
+
     def test_reader_death_degrades_bit_identically(self, tmp_path,
                                                    monkeypatch):
         store = tmp_path / "store"

@@ -225,6 +225,23 @@ class TestParallelEqualsSerial:
         parallel = fig9.run(cfg, engine=Engine(jobs=2))
         assert serial == parallel
 
+    def test_telemetry_counters_fold_identically(self, system):
+        # the pool workers ship metric deltas home in their result
+        # envelopes; the folded path-invariant counters must match what
+        # the serial path counts in-process
+        def sweep(jobs):
+            graph = JobGraph()
+            for workload in ("db2", "qry2"):
+                for kind in ("none", "stride", "stems"):
+                    graph.add(coverage_job(system, kind, workload=workload))
+            engine = Engine(jobs=jobs)
+            engine.run(graph)
+            registry = engine.telemetry.registry
+            return {**registry.counters("jobs."),
+                    **registry.counters("walk.")}
+
+        assert sweep(1) == sweep(2)
+
 
 class TestExecuteJobKinds:
     def test_each_kind_returns_its_result_type(self, system):
